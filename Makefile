@@ -1,0 +1,34 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test race bench repro examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One benchmark per paper table/figure plus ablations (bench_test.go).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Long-form reproduction of the paper's evaluation; writes plot-ready TSVs.
+repro:
+	$(GO) run ./cmd/benchsuite -experiment all -scale 0.25 -out results/
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/socialnetwork
+	$(GO) run ./examples/proteins
+	$(GO) run ./examples/kernelbreakdown
+	$(GO) run ./examples/dynamicupdates
+
+clean:
+	rm -rf results/

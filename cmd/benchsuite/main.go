@@ -1,0 +1,151 @@
+// Command benchsuite reproduces every table and figure of the paper's
+// evaluation section on the synthetic dataset surrogates. Each experiment
+// prints the same rows/series the paper reports; absolute numbers differ
+// (laptop + surrogate graphs vs. 128-core Perlmutter + SNAP datasets) but
+// the shapes — kernel dominance, variant ordering, scaling curves — are the
+// reproduction target. See EXPERIMENTS.md for recorded paper-vs-measured
+// comparisons.
+//
+// Usage:
+//
+//	benchsuite -experiment all -scale 0.25
+//	benchsuite -experiment fig5 -scale 1.0
+//	benchsuite -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"equitruss/internal/concur"
+	"equitruss/internal/gen"
+	"equitruss/internal/graph"
+	"equitruss/internal/triangle"
+	"equitruss/internal/truss"
+)
+
+type experiment struct {
+	id    string
+	title string
+	run   func(cfg config)
+}
+
+type config struct {
+	scale   float64 // dataset size factor
+	maxThr  int     // top of the thread sweep
+	verbose bool
+	sink    *tsvSink // optional TSV mirror of every table
+}
+
+var experiments = []experiment{
+	{"tab3", "Table 3: dataset inventory", runTab3},
+	{"fig2", "Figure 2: serial pipeline kernel breakdown (%)", runFig2},
+	{"fig4", "Figure 4: Baseline parallel kernel breakdown (%), 1 thread", runFig4},
+	{"fig5", "Figure 5: single-thread SpNode speedup by variant", runFig5},
+	{"fig6", "Figure 6: strong scaling of index construction", runFig6},
+	{"fig7", "Figure 7: SpNode scaling on friendster-sim", runFig7},
+	{"fig8", "Figure 8: kernel breakdown across thread counts", runFig8},
+	{"fig9", "Figure 9: parallel efficiency", runFig9},
+	{"tab4", "Table 4: single-thread comparison incl. Original (serial)", runTab4},
+	{"tab5", "Table 5: index sizes and parallel speedups", runTab5},
+}
+
+func main() {
+	expID := flag.String("experiment", "all", "experiment id (tab3, fig2, ..., tab5) or 'all'")
+	scale := flag.Float64("scale", 0.25, "dataset size factor (1.0 = paper-surrogate default size)")
+	maxThr := flag.Int("maxthreads", concur.MaxThreads(), "top of the thread sweep")
+	list := flag.Bool("list", false, "list experiments and exit")
+	verbose := flag.Bool("v", false, "verbose progress")
+	outDir := flag.String("out", "", "directory for TSV copies of every table (plot-ready)")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments {
+			fmt.Printf("%-5s %s\n", e.id, e.title)
+		}
+		return
+	}
+	cfg := config{scale: *scale, maxThr: *maxThr, verbose: *verbose}
+	if *outDir != "" {
+		cfg.sink = &tsvSink{dir: *outDir}
+	}
+	fmt.Printf("# benchsuite: %d CPUs, GOMAXPROCS=%d, scale=%.2f\n\n",
+		runtime.NumCPU(), runtime.GOMAXPROCS(0), cfg.scale)
+	ran := false
+	for _, e := range experiments {
+		if *expID == "all" || *expID == e.id {
+			fmt.Printf("== %s ==\n", e.title)
+			start := time.Now()
+			e.run(cfg)
+			fmt.Printf("(experiment wall time: %v)\n\n", time.Since(start).Round(time.Millisecond))
+			ran = true
+		}
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "benchsuite: unknown experiment %q (use -list)\n", *expID)
+		os.Exit(2)
+	}
+}
+
+// --- shared helpers ---------------------------------------------------------
+
+// graphCache avoids regenerating the same surrogate across experiments in
+// an "all" run.
+var graphCache = map[string]*graph.Graph{}
+
+func dataset(cfg config, name string) *graph.Graph {
+	key := fmt.Sprintf("%s@%.3f", name, cfg.scale)
+	if g, ok := graphCache[key]; ok {
+		return g
+	}
+	spec, err := gen.FindDataset(name)
+	if err != nil {
+		panic(err)
+	}
+	g := spec.Generate(cfg.scale)
+	graphCache[key] = g
+	return g
+}
+
+// tauCache holds trussness per dataset so repeated experiments share the
+// decomposition.
+var tauCache = map[string][]int32{}
+
+func trussness(cfg config, name string, g *graph.Graph) []int32 {
+	key := fmt.Sprintf("%s@%.3f", name, cfg.scale)
+	if tau, ok := tauCache[key]; ok {
+		return tau
+	}
+	sup := triangle.Supports(g, 0)
+	tau, _ := truss.DecomposeParallel(g, sup, 0)
+	tauCache[key] = tau
+	return tau
+}
+
+func threadSweep(maxThr int) []int {
+	var out []int
+	for t := 1; t <= maxThr; t *= 2 {
+		out = append(out, t)
+	}
+	if out[len(out)-1] != maxThr {
+		out = append(out, maxThr)
+	}
+	return out
+}
+
+func pct(part, total time.Duration) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(total)
+}
+
+func secs(d time.Duration) float64 { return d.Seconds() }
+
+// fourNets is the four-network set used by Figures 4 and 5 (DBLP, YouTube,
+// LiveJournal, Orkut in the paper; Amazon swaps in for Figure 2 and
+// Table 4; friendster-sim is Figure 7 only).
+var fourNets = []string{"dblp-sim", "youtube-sim", "livejournal-sim", "orkut-sim"}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// table accumulates rows and renders an aligned text table, the harness's
+// stand-in for the paper's plots: every experiment prints the same series
+// the corresponding figure draws.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func newTable(cols ...string) *table { return &table{header: cols} }
+
+func (t *table) row(cells ...interface{}) {
+	r := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			r[i] = fmt.Sprintf("%.2f", v)
+		default:
+			r[i] = fmt.Sprint(v)
+		}
+	}
+	t.rows = append(t.rows, r)
+}
+
+func (t *table) render(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.header)
+	seps := make([]string, len(t.header))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", widths[i])
+	}
+	line(seps)
+	for _, r := range t.rows {
+		line(r)
+	}
+}

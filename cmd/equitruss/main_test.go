@@ -1,0 +1,145 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"equitruss"
+)
+
+func TestParseVariant(t *testing.T) {
+	cases := map[string]equitruss.Variant{
+		"serial": equitruss.Serial, "original": equitruss.Serial,
+		"baseline": equitruss.Baseline, "sv": equitruss.Baseline,
+		"coptimal": equitruss.COptimal, "C-Optimal": equitruss.COptimal, "copt": equitruss.COptimal,
+		"afforest": equitruss.Afforest, "AFF": equitruss.Afforest,
+	}
+	for in, want := range cases {
+		got, err := parseVariant(in)
+		if err != nil || got != want {
+			t.Errorf("parseVariant(%q) = (%v, %v), want %v", in, got, err, want)
+		}
+	}
+	if _, err := parseVariant("bogus"); err == nil {
+		t.Error("bogus variant accepted")
+	}
+}
+
+func TestLoadGraphDatasetSpec(t *testing.T) {
+	g, err := loadGraph("dataset:amazon-sim:0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() == 0 {
+		t.Fatal("empty dataset")
+	}
+	if _, err := loadGraph("dataset:nonexistent"); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	if _, err := loadGraph("dataset:amazon-sim:notanumber"); err == nil {
+		t.Fatal("bad factor accepted")
+	}
+	if _, err := loadGraph("/no/such/file.txt"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestLoadGraphFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	if err := os.WriteFile(path, []byte("0 1\n1 2\n0 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := loadGraph(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 3 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+}
+
+func TestRunBuildQueryStatsEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	gpath := filepath.Join(dir, "g.txt")
+	// Figure-3-like input: a 5-clique plus pendant.
+	content := ""
+	for u := 0; u < 5; u++ {
+		for v := u + 1; v < 5; v++ {
+			content += itoa(u) + " " + itoa(v) + "\n"
+		}
+	}
+	content += "4 5\n"
+	if err := os.WriteFile(gpath, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ipath := filepath.Join(dir, "g.idx")
+	if err := runBuild([]string{"-graph", gpath, "-variant", "coptimal", "-out", ipath}); err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if _, err := os.Stat(ipath); err != nil {
+		t.Fatalf("index not written: %v", err)
+	}
+	if err := runQuery([]string{"-graph", gpath, "-index", ipath, "-vertex", "0", "-k", "5"}); err != nil {
+		t.Fatalf("query via index: %v", err)
+	}
+	if err := runQuery([]string{"-graph", gpath, "-variant", "afforest", "-vertex", "0", "-k", "3"}); err != nil {
+		t.Fatalf("query via fresh build: %v", err)
+	}
+	if err := runStats([]string{"-graph", gpath}); err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+}
+
+func TestRunBuildErrors(t *testing.T) {
+	if err := runBuild([]string{}); err == nil {
+		t.Error("missing -graph accepted")
+	}
+	if err := runBuild([]string{"-graph", "g.txt", "-variant", "bogus"}); err == nil {
+		t.Error("bad variant accepted")
+	}
+	if err := runQuery([]string{"-graph", "g.txt"}); err == nil {
+		t.Error("missing -vertex accepted")
+	}
+	if err := runStats([]string{}); err == nil {
+		t.Error("stats without -graph accepted")
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+func TestRunExport(t *testing.T) {
+	dir := t.TempDir()
+	gpath := filepath.Join(dir, "g.txt")
+	if err := os.WriteFile(gpath, []byte("0 1\n1 2\n0 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dotPath := filepath.Join(dir, "s.dot")
+	if err := runExport([]string{"-graph", gpath, "-what", "summary", "-out", dotPath}); err != nil {
+		t.Fatalf("export summary: %v", err)
+	}
+	data, err := os.ReadFile(dotPath)
+	if err != nil || len(data) == 0 {
+		t.Fatalf("dot output: %v len=%d", err, len(data))
+	}
+	if err := runExport([]string{"-graph", gpath, "-what", "graph", "-out", filepath.Join(dir, "g.dot")}); err != nil {
+		t.Fatalf("export graph: %v", err)
+	}
+	if err := runExport([]string{"-graph", gpath, "-what", "bogus"}); err == nil {
+		t.Fatal("bogus export kind accepted")
+	}
+	if err := runExport([]string{}); err == nil {
+		t.Fatal("missing -graph accepted")
+	}
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"equitruss/internal/graphio"
+)
+
+func TestGenerateModels(t *testing.T) {
+	cases := []params{
+		{model: "dataset", name: "amazon-sim", factor: 0.05},
+		{model: "rmat", scale: 8, edgefactor: 4, seed: 1},
+		{model: "er", n: 200, m: 500, seed: 2},
+		{model: "ba", n: 200, k: 3, seed: 3},
+		{model: "planted", communities: 5, size: 6, pintra: 0.8, interdeg: 1, seed: 4},
+	}
+	for _, p := range cases {
+		g, err := generate(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.model, err)
+		}
+		if g.NumEdges() == 0 {
+			t.Fatalf("%s: empty graph", p.model)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := generate(params{model: "bogus"}); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+	if _, err := generate(params{model: "dataset", name: "bogus"}); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestEmitTextAndBinary(t *testing.T) {
+	g, err := generate(params{model: "rmat", scale: 6, edgefactor: 3, seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var text bytes.Buffer
+	if err := emit(&text, g, false); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := graphio.ReadEdgeList(&text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("text round trip: %d vs %d edges", g2.NumEdges(), g.NumEdges())
+	}
+	var bin bytes.Buffer
+	if err := emit(&bin, g, true); err != nil {
+		t.Fatal(err)
+	}
+	g3, err := graphio.ReadBinaryGraph(&bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g3.NumEdges() != g.NumEdges() {
+		t.Fatalf("binary round trip: %d vs %d edges", g3.NumEdges(), g.NumEdges())
+	}
+}

@@ -1,0 +1,250 @@
+// Package equitruss is a parallel implementation of EquiTruss — a summary-
+// graph index over the edges of an undirected graph that makes k-truss-
+// based local (overlapping, goal-oriented) community search fast — as
+// described in "Fast Parallel Index Construction for Efficient K-truss-
+// based Local Community Detection in Large Graphs" (Faysal, Bremer, Chan,
+// Shalf, Arifuzzaman; ICPP 2023).
+//
+// The library covers the full pipeline: per-edge triangle support,
+// k-truss decomposition, EquiTruss index construction in four variants
+// (the original sequential Algorithm, parallel Shiloach–Vishkin Baseline,
+// cache-optimized C-Optimal, and sampling-based Afforest), and indexed
+// community queries.
+//
+// Quick start:
+//
+//	g, _ := equitruss.LoadEdgeList("graph.txt")
+//	idx, _ := equitruss.BuildIndex(g, equitruss.Options{Variant: equitruss.Afforest})
+//	for _, c := range idx.Communities(42, 4) {        // communities of vertex 42 at k=4
+//	    fmt.Println(c.Vertices())
+//	}
+package equitruss
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"equitruss/internal/community"
+	"equitruss/internal/core"
+	"equitruss/internal/dynamic"
+	"equitruss/internal/gen"
+	"equitruss/internal/graph"
+	"equitruss/internal/graphio"
+	"equitruss/internal/metrics"
+	"equitruss/internal/triangle"
+	"equitruss/internal/truss"
+)
+
+// Graph is a simple undirected graph in CSR form (see internal/graph for
+// the full method set: Neighbors, Degree, EdgeID, ...).
+type Graph = graph.Graph
+
+// Edge is a canonical undirected edge with U < V.
+type Edge = graph.Edge
+
+// SummaryGraph is the EquiTruss supergraph: supernodes of truss-equivalent
+// edges linked by superedges.
+type SummaryGraph = core.SummaryGraph
+
+// Community is one k-truss community returned by a query.
+type Community = community.Community
+
+// Timings records per-kernel wall times of an index build.
+type Timings = core.Timings
+
+// Variant selects the index-construction implementation.
+type Variant = core.Variant
+
+// The four implementations from the paper's Table 2.
+const (
+	Serial   = core.VariantSerial   // Original EquiTruss (Algorithm 1)
+	Baseline = core.VariantBaseline // parallel SV, hash-map dictionaries
+	COptimal = core.VariantCOptimal // parallel SV, contiguous CSR-aligned storage
+	Afforest = core.VariantAfforest // sampling-based CC construction
+)
+
+// Options configures BuildIndex.
+type Options struct {
+	// Variant selects the construction algorithm. The zero value is
+	// Serial; use Afforest for the fastest build.
+	Variant Variant
+	// Threads caps the parallelism; <= 0 uses all cores. Ignored by the
+	// Serial variant.
+	Threads int
+	// SerialTruss forces the sequential peeling decomposition even for
+	// parallel variants (the parallel peeling is the default for them).
+	SerialTruss bool
+}
+
+// Index is the query-ready EquiTruss index: the summary graph plus the
+// vertex→supernode seed mapping, with the build's kernel timings attached.
+type Index struct {
+	*community.Index
+	Timings Timings
+}
+
+// NewGraph builds a graph from an edge list. Self-loops and duplicate
+// edges are removed; numVertices <= 0 infers the vertex count.
+func NewGraph(edges []Edge, numVertices int32) (*Graph, error) {
+	return graph.FromEdgeList(edges, numVertices)
+}
+
+// LoadEdgeList reads a SNAP-style whitespace-separated edge-list file.
+func LoadEdgeList(path string) (*Graph, error) {
+	return graphio.ReadEdgeListFile(path)
+}
+
+// ReadEdgeList parses SNAP-style edge-list text from a reader.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	return graphio.ReadEdgeList(r)
+}
+
+// GenerateDataset materializes one of the built-in synthetic surrogates of
+// the paper's datasets ("amazon-sim", "dblp-sim", "youtube-sim",
+// "livejournal-sim", "orkut-sim", "friendster-sim") at the given size
+// factor (1.0 = default size).
+func GenerateDataset(name string, sizeFactor float64) (*Graph, error) {
+	return gen.Dataset(name, sizeFactor)
+}
+
+// GenerateRMAT generates a Graph500-style R-MAT graph with 2^scale
+// vertices and about edgeFactor·2^scale edges.
+func GenerateRMAT(scale, edgeFactor int, seed uint64) *Graph {
+	return gen.RMAT(scale, edgeFactor, 0.57, 0.19, 0.19, seed)
+}
+
+// Supports returns the per-edge triangle counts (Definition 2).
+func Supports(g *Graph, threads int) []int32 {
+	return triangle.Supports(g, threads)
+}
+
+// Trussness runs support computation and k-truss decomposition, returning
+// τ(e) for every edge ID (Definition 4). threads <= 0 uses all cores;
+// threads == 1 selects the sequential peeling algorithm.
+func Trussness(g *Graph, threads int) []int32 {
+	sup := triangle.Supports(g, threads)
+	if threads == 1 {
+		tau, _ := truss.DecomposeSerial(g, sup)
+		return tau
+	}
+	tau, _ := truss.DecomposeParallel(g, sup, threads)
+	return tau
+}
+
+// BuildIndex runs the full pipeline — Support, TrussDecomp, and the five
+// index-construction kernels of the selected variant — and returns the
+// query-ready index with its kernel timings.
+func BuildIndex(g *Graph, opt Options) (*Index, error) {
+	if g == nil {
+		return nil, fmt.Errorf("equitruss: nil graph")
+	}
+	sg, tm, err := buildSummary(g, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{Index: community.NewIndex(g, sg), Timings: tm}, nil
+}
+
+// BuildSummary runs the same pipeline but returns only the summary graph
+// and timings, without materializing the vertex→supernode query index —
+// what the paper's timing experiments measure.
+func BuildSummary(g *Graph, opt Options) (*SummaryGraph, Timings, error) {
+	return buildSummary(g, opt)
+}
+
+func buildSummary(g *Graph, opt Options) (*SummaryGraph, Timings, error) {
+	if g == nil {
+		return nil, Timings{}, fmt.Errorf("equitruss: nil graph")
+	}
+	threads := opt.Threads
+	if opt.Variant == Serial {
+		threads = 1
+	}
+	start := time.Now()
+	sup := triangle.Supports(g, threads)
+	supportTime := time.Since(start)
+
+	start = time.Now()
+	var tau []int32
+	if opt.Variant == Serial || opt.SerialTruss || threads == 1 {
+		tau, _ = truss.DecomposeSerial(g, sup)
+	} else {
+		tau, _ = truss.DecomposeParallel(g, sup, threads)
+	}
+	trussTime := time.Since(start)
+
+	sg, tm := core.Build(g, tau, opt.Variant, threads)
+	tm.Support = supportTime
+	tm.TrussDecomp = trussTime
+	return sg, tm, nil
+}
+
+// Stats summarizes a built index (sizes, trussness histogram, largest
+// supernode).
+type Stats = core.Stats
+
+// Query is one (vertex, k) community lookup for Index.BatchCommunities.
+type Query = community.Query
+
+// MaximalKTruss materializes the maximal k-truss subgraph given a
+// trussness array from Trussness (vertex IDs preserved).
+func MaximalKTruss(g *Graph, tau []int32, k int32) (*Graph, error) {
+	return truss.MaximalKTruss(g, tau, k)
+}
+
+// TrussnessHistogram returns edge counts per trussness value.
+func TrussnessHistogram(tau []int32) map[int32]int64 {
+	return truss.TrussnessHistogram(tau)
+}
+
+// DirectCommunities answers a community query with no index (from-scratch
+// BFS over the k-truss) — the comparison point that motivates building the
+// index at all.
+func DirectCommunities(g *Graph, tau []int32, v, k int32) []*Community {
+	return community.DirectCommunities(g, tau, v, k)
+}
+
+// CommunityMetrics bundles cohesion statistics of a community (density,
+// conductance, minimum internal degree, clustering).
+type CommunityMetrics = metrics.Report
+
+// EvaluateCommunity computes cohesion metrics for a community against its
+// host graph.
+func EvaluateCommunity(g *Graph, c *Community) CommunityMetrics {
+	return metrics.Evaluate(g, c.Vertices())
+}
+
+// DynamicGraph is a mutable graph whose per-edge trussness is maintained
+// exactly under single-edge insertions and deletions (see internal/dynamic
+// for the fixpoint argument). Use ToStatic + BuildIndex to refresh the
+// community index after a batch of updates without re-running the two most
+// expensive kernels from scratch on query-side state.
+type DynamicGraph = dynamic.Graph
+
+// NewDynamicGraph returns an empty dynamic graph with capacity for n
+// vertices (grown automatically).
+func NewDynamicGraph(n int32) *DynamicGraph { return dynamic.New(n) }
+
+// NewDynamicFromGraph imports a static graph, computing its decomposition.
+func NewDynamicFromGraph(g *Graph, threads int) *DynamicGraph {
+	return dynamic.FromStatic(g, Trussness(g, threads))
+}
+
+// SaveIndex writes a summary graph in the binary index format.
+func SaveIndex(w io.Writer, sg *SummaryGraph) error {
+	return graphio.WriteBinaryIndex(w, sg)
+}
+
+// LoadIndex reads a summary graph written by SaveIndex and attaches it to
+// its graph as a query-ready Index.
+func LoadIndex(r io.Reader, g *Graph) (*Index, error) {
+	sg, err := graphio.ReadBinaryIndex(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(sg.Tau) != int(g.NumEdges()) {
+		return nil, fmt.Errorf("equitruss: index built for %d edges, graph has %d", len(sg.Tau), g.NumEdges())
+	}
+	return &Index{Index: community.NewIndex(g, sg)}, nil
+}

@@ -1,0 +1,51 @@
+// Kernel breakdown: run all three parallel variants on an R-MAT graph and
+// print the per-kernel timing profile (the shape of the paper's Figures 4
+// and 8) plus the variant speedups (Figure 5) — a self-contained
+// mini-benchmark on generated data.
+//
+//	go run ./examples/kernelbreakdown [-scale 14] [-threads 0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"equitruss"
+)
+
+func main() {
+	scale := flag.Int("scale", 13, "log2 vertices of the R-MAT graph")
+	edgefactor := flag.Int("edgefactor", 12, "edges per vertex")
+	threads := flag.Int("threads", 0, "threads (0 = all cores)")
+	flag.Parse()
+
+	g := equitruss.GenerateRMAT(*scale, *edgefactor, 42)
+	fmt.Printf("R-MAT scale=%d: %d vertices, %d edges\n\n", *scale, g.NumVertices(), g.NumEdges())
+
+	fmt.Printf("%-10s %10s %10s %10s %10s %10s %10s %10s %12s\n",
+		"variant", "support", "truss", "init", "spnode", "spedge", "smgraph", "remap", "index-total")
+	var baseline time.Duration
+	for _, v := range []equitruss.Variant{equitruss.Baseline, equitruss.COptimal, equitruss.Afforest} {
+		_, tm, err := equitruss.BuildSummary(g, equitruss.Options{Variant: v, Threads: *threads})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-10v %10v %10v %10v %10v %10v %10v %10v %12v\n",
+			v,
+			tm.Support.Round(time.Millisecond),
+			tm.TrussDecomp.Round(time.Millisecond),
+			tm.Init.Round(time.Millisecond),
+			tm.SpNode.Round(time.Millisecond),
+			tm.SpEdge.Round(time.Millisecond),
+			tm.SmGraph.Round(time.Millisecond),
+			tm.SpNodeRemap.Round(time.Millisecond),
+			tm.IndexTotal().Round(time.Millisecond))
+		if v == equitruss.Baseline {
+			baseline = tm.IndexTotal()
+		} else {
+			fmt.Printf("%-10s speedup over Baseline: %.2fx\n", "",
+				float64(baseline)/float64(tm.IndexTotal()))
+		}
+	}
+}

@@ -1,0 +1,54 @@
+// Quickstart: build an EquiTruss index over a small graph and query the
+// communities of a vertex.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"equitruss"
+)
+
+func main() {
+	// Two dense groups overlapping in vertex 4 only, plus a tail: vertex 4
+	// belongs to BOTH communities simultaneously (overlapping membership).
+	edges := []equitruss.Edge{
+		// group A: clique on 0-1-2-3-4
+		{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}, {U: 0, V: 4},
+		{U: 1, V: 2}, {U: 1, V: 3}, {U: 1, V: 4},
+		{U: 2, V: 3}, {U: 2, V: 4}, {U: 3, V: 4},
+		// group B: clique on 4-5-6-7
+		{U: 4, V: 5}, {U: 4, V: 6}, {U: 4, V: 7},
+		{U: 5, V: 6}, {U: 5, V: 7}, {U: 6, V: 7},
+		// a triangle-free tail
+		{U: 7, V: 8}, {U: 8, V: 9},
+	}
+	g, err := equitruss.NewGraph(edges, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("graph:", g)
+
+	idx, err := equitruss.BuildIndex(g, equitruss.Options{Variant: equitruss.Afforest})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("index: %d supernodes, %d superedges\n",
+		idx.SG.NumSupernodes(), idx.SG.NumSuperedges())
+
+	// Vertex 4 sits in both groups: overlapping membership.
+	for _, k := range []int32{3, 4, 5} {
+		cs := idx.Communities(4, k)
+		fmt.Printf("vertex 4 at k=%d: %d community(ies)\n", k, len(cs))
+		for i, c := range cs {
+			fmt.Printf("  #%d vertices=%v\n", i, c.Vertices())
+		}
+	}
+
+	// The strongest community vertex 4 participates in:
+	fmt.Println("max-k of vertex 4:", idx.MaxK(4))
+	// Vertex 8 is on the triangle-free tail: no communities at all.
+	fmt.Println("communities of vertex 8 at k=3:", len(idx.Communities(8, 3)))
+}

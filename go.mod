@@ -1,0 +1,3 @@
+module equitruss
+
+go 1.22

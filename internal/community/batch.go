@@ -1,0 +1,24 @@
+package community
+
+import (
+	"equitruss/internal/concur"
+)
+
+// BatchCommunities answers one query per (vertex, k) pair in parallel —
+// the online-service shape the index targets: many concurrent personalized
+// community lookups against one immutable index. Results align with the
+// input slice; queries are independent and read-only, so they parallelize
+// perfectly.
+func (idx *Index) BatchCommunities(queries []Query, threads int) [][]*Community {
+	out := make([][]*Community, len(queries))
+	concur.ForDynamic(len(queries), threads, 8, func(i int) {
+		out[i] = idx.Communities(queries[i].Vertex, queries[i].K)
+	})
+	return out
+}
+
+// Query is one community lookup.
+type Query struct {
+	Vertex int32
+	K      int32
+}

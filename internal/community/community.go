@@ -1,0 +1,234 @@
+// Package community answers the local (goal-oriented) community-search
+// queries that the EquiTruss index exists for: given a query vertex q and a
+// cohesion level k, return every k-truss community containing q — possibly
+// several, and possibly overlapping with other vertices' communities.
+//
+// Two query paths are provided: the indexed path that traverses the summary
+// graph (the whole point of the paper), and a direct from-scratch BFS over
+// edges that serves as the correctness oracle in tests.
+package community
+
+import (
+	"sort"
+
+	"equitruss/internal/core"
+	"equitruss/internal/ds"
+	"equitruss/internal/graph"
+)
+
+// Community is one k-truss community: a set of edge IDs of the original
+// graph. Vertices returns the vertex set on demand.
+type Community struct {
+	K     int32   // the queried cohesion level
+	Edges []int32 // member edge IDs, ascending
+	g     *graph.Graph
+}
+
+// Vertices returns the sorted distinct vertices spanned by the community.
+func (c *Community) Vertices() []int32 {
+	seen := make(map[int32]struct{}, 2*len(c.Edges))
+	for _, e := range c.Edges {
+		ed := c.g.Edge(e)
+		seen[ed.U] = struct{}{}
+		seen[ed.V] = struct{}{}
+	}
+	out := make([]int32, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Subgraph materializes the community as its own graph (original vertex
+// IDs preserved).
+func (c *Community) Subgraph() (*graph.Graph, error) {
+	member := make(map[int32]struct{}, len(c.Edges))
+	for _, e := range c.Edges {
+		member[e] = struct{}{}
+	}
+	return c.g.InducedByEdges(func(eid int32) bool {
+		_, ok := member[eid]
+		return ok
+	})
+}
+
+// Index couples the summary graph with the vertex→supernode mapping needed
+// to seed queries, i.e. the complete query-ready EquiTruss index.
+type Index struct {
+	G  *graph.Graph
+	SG *core.SummaryGraph
+
+	// vertex → distinct supernodes of its incident edges, CSR form.
+	snOffsets []int64
+	snList    []int32
+}
+
+// NewIndex builds the vertex→supernode CSR from the summary graph.
+func NewIndex(g *graph.Graph, sg *core.SummaryGraph) *Index {
+	n := g.NumVertices()
+	idx := &Index{G: g, SG: sg, snOffsets: make([]int64, n+1)}
+	// Two passes: count distinct supernodes per vertex, then fill.
+	distinct := func(v int32, emit func(sn int32)) {
+		eids := g.IncidentEIDs(v)
+		// Incident supernode lists are tiny; dedupe with a local slice.
+		var seen []int32
+		for _, e := range eids {
+			sn := sg.EdgeToSN[e]
+			if sn == core.NoSupernode {
+				continue
+			}
+			dup := false
+			for _, s := range seen {
+				if s == sn {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				seen = append(seen, sn)
+				emit(sn)
+			}
+		}
+	}
+	for v := int32(0); v < n; v++ {
+		var c int64
+		distinct(v, func(int32) { c++ })
+		idx.snOffsets[v+1] = idx.snOffsets[v] + c
+	}
+	idx.snList = make([]int32, idx.snOffsets[n])
+	cursor := make([]int64, n)
+	copy(cursor, idx.snOffsets[:n])
+	for v := int32(0); v < n; v++ {
+		distinct(v, func(sn int32) {
+			idx.snList[cursor[v]] = sn
+			cursor[v]++
+		})
+	}
+	return idx
+}
+
+// SupernodesOf returns the distinct supernodes containing an edge incident
+// to v (aliases internal storage).
+func (idx *Index) SupernodesOf(v int32) []int32 {
+	return idx.snList[idx.snOffsets[v]:idx.snOffsets[v+1]]
+}
+
+// Communities returns every k-truss community containing vertex v, using
+// the index: seed supernodes are v's incident supernodes with trussness >=
+// k; each seed's connected region of the summary graph restricted to
+// supernodes with trussness >= k is one community (distinct seeds falling
+// in one region merge into the same community). Runs in time proportional
+// to the answer plus the traversed region — no trussness recomputation, the
+// property EquiTruss was designed for.
+func (idx *Index) Communities(v int32, k int32) []*Community {
+	if k < core.MinK {
+		k = core.MinK
+	}
+	sg := idx.SG
+	visited := ds.NewBitset(int(sg.NumSupernodes()))
+	var result []*Community
+	for _, seed := range idx.SupernodesOf(v) {
+		if sg.K[seed] < k || visited.Get(int(seed)) {
+			continue
+		}
+		// BFS over qualifying supernodes.
+		var members []int32
+		stack := []int32{seed}
+		visited.Set(int(seed))
+		for len(stack) > 0 {
+			s := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			members = append(members, sg.SupernodeEdges(s)...)
+			for _, nb := range sg.SupernodeNeighbors(s) {
+				if sg.K[nb] >= k && !visited.Get(int(nb)) {
+					visited.Set(int(nb))
+					stack = append(stack, nb)
+				}
+			}
+		}
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		result = append(result, &Community{K: k, Edges: members, g: idx.G})
+	}
+	return result
+}
+
+// MaxK returns the highest trussness of any supernode containing an edge
+// incident to v — the strongest community the vertex participates in.
+func (idx *Index) MaxK(v int32) int32 {
+	best := int32(0)
+	for _, sn := range idx.SupernodesOf(v) {
+		if k := idx.SG.K[sn]; k > best {
+			best = k
+		}
+	}
+	return best
+}
+
+// Membership returns, for each k from 3 to MaxK(v), the number of distinct
+// k-truss communities containing v — the "overlapping community profile"
+// of the vertex.
+func (idx *Index) Membership(v int32) map[int32]int {
+	out := make(map[int32]int)
+	for k := int32(core.MinK); k <= idx.MaxK(v); k++ {
+		if cs := idx.Communities(v, k); len(cs) > 0 {
+			out[k] = len(cs)
+		}
+	}
+	return out
+}
+
+// DirectCommunities answers the same query with no index: BFS over the
+// original graph's edges, expanding through triangles entirely inside the
+// k-truss (all three edges τ >= k). It is the ground-truth oracle used to
+// validate the indexed path and the from-scratch comparator in benchmarks.
+func DirectCommunities(g *graph.Graph, tau []int32, v int32, k int32) []*Community {
+	if k < core.MinK {
+		k = core.MinK
+	}
+	m := int(g.NumEdges())
+	visited := ds.NewBitset(m)
+	var result []*Community
+	for _, seed := range g.IncidentEIDs(v) {
+		if tau[seed] < k || visited.Get(int(seed)) {
+			continue
+		}
+		var members []int32
+		stack := []int32{seed}
+		visited.Set(int(seed))
+		for len(stack) > 0 {
+			e := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			members = append(members, e)
+			g.ForEachTriangleOf(e, func(w, e1, e2 int32) bool {
+				if tau[e1] < k || tau[e2] < k {
+					return true
+				}
+				if !visited.Get(int(e1)) {
+					visited.Set(int(e1))
+					stack = append(stack, e1)
+				}
+				if !visited.Get(int(e2)) {
+					visited.Set(int(e2))
+					stack = append(stack, e2)
+				}
+				return true
+			})
+		}
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		result = append(result, &Community{K: k, Edges: members, g: g})
+	}
+	return result
+}
+
+// CanonicalizeCommunities sorts a community list by first member edge so
+// that indexed and direct answers compare deterministically.
+func CanonicalizeCommunities(cs []*Community) []*Community {
+	sort.Slice(cs, func(i, j int) bool {
+		if len(cs[i].Edges) == 0 || len(cs[j].Edges) == 0 {
+			return len(cs[i].Edges) < len(cs[j].Edges)
+		}
+		return cs[i].Edges[0] < cs[j].Edges[0]
+	})
+	return cs
+}

@@ -1,0 +1,63 @@
+package community
+
+import (
+	"sort"
+
+	"equitruss/internal/core"
+	"equitruss/internal/ds"
+)
+
+// AllCommunities enumerates every k-truss community in the graph (not just
+// those of one query vertex) by running connected components over the
+// supergraph restricted to supernodes with trussness >= k. This is the
+// "global view" the index gives almost for free — contrast with global
+// community detection, which would recompute from the raw graph.
+func (idx *Index) AllCommunities(k int32) []*Community {
+	if k < core.MinK {
+		k = core.MinK
+	}
+	sg := idx.SG
+	s := sg.NumSupernodes()
+	visited := ds.NewBitset(int(s))
+	var out []*Community
+	for seed := int32(0); seed < s; seed++ {
+		if sg.K[seed] < k || visited.Get(int(seed)) {
+			continue
+		}
+		var members []int32
+		stack := []int32{seed}
+		visited.Set(int(seed))
+		for len(stack) > 0 {
+			sn := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			members = append(members, sg.SupernodeEdges(sn)...)
+			for _, nb := range sg.SupernodeNeighbors(sn) {
+				if sg.K[nb] >= k && !visited.Get(int(nb)) {
+					visited.Set(int(nb))
+					stack = append(stack, nb)
+				}
+			}
+		}
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		out = append(out, &Community{K: k, Edges: members, g: idx.G})
+	}
+	return CanonicalizeCommunities(out)
+}
+
+// CommunityCount returns, for each k from 3 to the graph's kmax, the
+// number of k-truss communities — the global community-size profile.
+func (idx *Index) CommunityCount() map[int32]int {
+	kmax := int32(core.MinK - 1)
+	for _, k := range idx.SG.K {
+		if k > kmax {
+			kmax = k
+		}
+	}
+	out := make(map[int32]int)
+	for k := int32(core.MinK); k <= kmax; k++ {
+		if n := len(idx.AllCommunities(k)); n > 0 {
+			out[k] = n
+		}
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+package community_test
+
+import (
+	"testing"
+
+	"equitruss/internal/community"
+	"equitruss/internal/gen"
+)
+
+func TestAllCommunitiesFigure3(t *testing.T) {
+	g := gen.PaperFigure3()
+	_, idx := pipeline(t, g)
+	// k=3: the whole graph is one triangle-connected community.
+	if cs := idx.AllCommunities(3); len(cs) != 1 {
+		t.Fatalf("k=3 communities = %d, want 1", len(cs))
+	}
+	// k=4: ν1 alone and ν3∪ν4.
+	cs := idx.AllCommunities(4)
+	if len(cs) != 2 {
+		t.Fatalf("k=4 communities = %d, want 2", len(cs))
+	}
+	// k=5: just the 5-clique.
+	cs = idx.AllCommunities(5)
+	if len(cs) != 1 || len(cs[0].Edges) != 10 {
+		t.Fatalf("k=5 communities = %v", cs)
+	}
+	// k=6: none.
+	if cs := idx.AllCommunities(6); len(cs) != 0 {
+		t.Fatalf("k=6 communities = %d, want 0", len(cs))
+	}
+}
+
+// TestAllCommunitiesCoversVertexQueries: the union of every vertex's
+// communities at level k must equal AllCommunities(k).
+func TestAllCommunitiesCoversVertexQueries(t *testing.T) {
+	g := gen.PlantedPartition(7, 8, 0.7, 1.3, 61)
+	_, idx := pipeline(t, g)
+	for _, k := range []int32{3, 4, 5} {
+		all := idx.AllCommunities(k)
+		seen := map[string]bool{}
+		for v := int32(0); v < g.NumVertices(); v++ {
+			for _, c := range idx.Communities(v, k) {
+				seen[canonCommunities([]*community.Community{c})] = true
+			}
+		}
+		if len(seen) != len(all) {
+			t.Fatalf("k=%d: vertex queries found %d distinct communities, global %d",
+				k, len(seen), len(all))
+		}
+		for _, c := range all {
+			if !seen[canonCommunities([]*community.Community{c})] {
+				t.Fatalf("k=%d: global community missing from vertex queries", k)
+			}
+		}
+	}
+}
+
+func TestCommunityCountProfile(t *testing.T) {
+	g := gen.SharedEdgeCliquePair(6, 4)
+	_, idx := pipeline(t, g)
+	prof := idx.CommunityCount()
+	// k=3..4: one merged community; k=5,6: just the K6.
+	if prof[3] != 1 || prof[4] != 1 || prof[5] != 1 || prof[6] != 1 {
+		t.Fatalf("profile = %v", prof)
+	}
+	if _, ok := prof[7]; ok {
+		t.Fatalf("profile has k=7: %v", prof)
+	}
+	// Triangle-free graph: empty profile.
+	g2 := gen.Cycle(8)
+	_, idx2 := pipeline(t, g2)
+	if len(idx2.CommunityCount()) != 0 {
+		t.Fatal("cycle has communities")
+	}
+}

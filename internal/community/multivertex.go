@@ -1,0 +1,78 @@
+package community
+
+import (
+	"sort"
+
+	"equitruss/internal/core"
+	"equitruss/internal/ds"
+)
+
+// CommonCommunities returns the k-truss communities that contain EVERY
+// vertex of the query set — the multi-vertex community search of the
+// EquiTruss model (e.g. "which groups do these three users share?"). A
+// community qualifies if each query vertex has an incident edge in it.
+func (idx *Index) CommonCommunities(vertices []int32, k int32) []*Community {
+	if len(vertices) == 0 {
+		return nil
+	}
+	if k < core.MinK {
+		k = core.MinK
+	}
+	// Take the communities of the first vertex, then filter by membership
+	// of the rest. Vertex membership test: the community contains an edge
+	// incident to v, i.e. v appears in the community's vertex set.
+	candidates := idx.Communities(vertices[0], k)
+	if len(candidates) == 0 {
+		return nil
+	}
+	var out []*Community
+	for _, c := range candidates {
+		verts := c.Vertices()
+		all := true
+		for _, v := range vertices[1:] {
+			i := sort.Search(len(verts), func(i int) bool { return verts[i] >= v })
+			if i >= len(verts) || verts[i] != v {
+				all = false
+				break
+			}
+		}
+		if all {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// CommunitySupernodes returns, for diagnostics and visualization, the
+// supernode IDs whose union forms each community of vertex v at level k —
+// the supergraph-level view of the answer.
+func (idx *Index) CommunitySupernodes(v int32, k int32) [][]int32 {
+	if k < core.MinK {
+		k = core.MinK
+	}
+	sg := idx.SG
+	visited := ds.NewBitset(int(sg.NumSupernodes()))
+	var result [][]int32
+	for _, seed := range idx.SupernodesOf(v) {
+		if sg.K[seed] < k || visited.Get(int(seed)) {
+			continue
+		}
+		var sns []int32
+		stack := []int32{seed}
+		visited.Set(int(seed))
+		for len(stack) > 0 {
+			s := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			sns = append(sns, s)
+			for _, nb := range sg.SupernodeNeighbors(s) {
+				if sg.K[nb] >= k && !visited.Get(int(nb)) {
+					visited.Set(int(nb))
+					stack = append(stack, nb)
+				}
+			}
+		}
+		sort.Slice(sns, func(i, j int) bool { return sns[i] < sns[j] })
+		result = append(result, sns)
+	}
+	return result
+}

@@ -1,0 +1,78 @@
+package community_test
+
+import (
+	"testing"
+
+	"equitruss/internal/gen"
+)
+
+func TestCommonCommunitiesFigure3(t *testing.T) {
+	g := gen.PaperFigure3()
+	_, idx := pipeline(t, g)
+
+	// 6 and 9 are both in the 5-clique: one common k=5 community.
+	cs := idx.CommonCommunities([]int32{6, 9}, 5)
+	if len(cs) != 1 {
+		t.Fatalf("common(6,9) k=5: %d, want 1", len(cs))
+	}
+	// 0 and 9 share no k=5 community.
+	if cs := idx.CommonCommunities([]int32{0, 9}, 5); len(cs) != 0 {
+		t.Fatalf("common(0,9) k=5: %d, want 0", len(cs))
+	}
+	// At k=3 the whole graph is one triangle-connected community, so any
+	// pair shares it.
+	if cs := idx.CommonCommunities([]int32{0, 9}, 3); len(cs) != 1 {
+		t.Fatalf("common(0,9) k=3: %d, want 1", len(cs))
+	}
+	// Single-vertex query degenerates to Communities.
+	a := canonCommunities(idx.CommonCommunities([]int32{6}, 5))
+	b := canonCommunities(idx.Communities(6, 5))
+	if a != b {
+		t.Fatal("single-vertex common != Communities")
+	}
+	// Empty query.
+	if cs := idx.CommonCommunities(nil, 4); cs != nil {
+		t.Fatal("empty query returned communities")
+	}
+}
+
+func TestCommunitySupernodesFigure3(t *testing.T) {
+	g := gen.PaperFigure3()
+	_, idx := pipeline(t, g)
+
+	// Vertex 0 at k=3 spans the whole supergraph (all 5 supernodes are
+	// reachable at k >= 3).
+	groups := idx.CommunitySupernodes(0, 3)
+	if len(groups) != 1 {
+		t.Fatalf("groups = %d, want 1", len(groups))
+	}
+	if len(groups[0]) != 5 {
+		t.Fatalf("supernodes in k=3 community = %d, want 5", len(groups[0]))
+	}
+	// Vertex 3 at k=4: two separate groups — the 4-clique supernode ν1
+	// alone, and ν3 together with the k=5 supernode ν4 it reaches through
+	// their superedge (higher-k supernodes merge into k=4 communities).
+	groups = idx.CommunitySupernodes(3, 4)
+	if len(groups) != 2 {
+		t.Fatalf("v=3 k=4 groups = %d, want 2", len(groups))
+	}
+	sizes := map[int]bool{len(groups[0]): true, len(groups[1]): true}
+	if !sizes[1] || !sizes[2] {
+		t.Fatalf("k=4 group sizes = %v, want one singleton and one pair", groups)
+	}
+	// Consistency: union of supernode member edges == Communities edges.
+	cs := idx.Communities(3, 4)
+	var fromSN int
+	for _, grp := range groups {
+		for _, sn := range grp {
+			fromSN += len(idx.SG.SupernodeEdges(sn))
+		}
+	}
+	var fromCs int
+	for _, c := range cs {
+		fromCs += len(c.Edges)
+	}
+	if fromSN != fromCs {
+		t.Fatalf("edge totals differ: %d vs %d", fromSN, fromCs)
+	}
+}

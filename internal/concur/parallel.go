@@ -1,0 +1,219 @@
+// Package concur provides the shared-memory parallel primitives used by the
+// EquiTruss pipeline: static and dynamically-scheduled parallel loops,
+// parallel reductions, parallel prefix sums, and small atomic helpers.
+//
+// The package deliberately mirrors the OpenMP constructs used in the paper
+// ("#pragma omp parallel for", reductions, thread-local storage) with
+// goroutine-based equivalents so that the algorithm pseudocode translates
+// line for line.
+package concur
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// MaxThreads returns the default parallelism for the pipeline: the number of
+// usable CPUs as reported by the runtime.
+func MaxThreads() int {
+	return runtime.GOMAXPROCS(0)
+}
+
+// clampThreads normalizes a requested thread count: values <= 0 mean "use
+// all available cores"; values are capped so that we never spawn more
+// goroutines than loop iterations in the static scheduler.
+func clampThreads(threads, n int) int {
+	if threads <= 0 {
+		threads = MaxThreads()
+	}
+	if threads > n {
+		threads = n
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	return threads
+}
+
+// For runs body(i) for every i in [0, n) using the given number of threads
+// with a static block distribution, like "omp parallel for schedule(static)".
+// threads <= 0 selects MaxThreads(). The call returns when all iterations
+// complete.
+func For(n, threads int, body func(i int)) {
+	if n <= 0 {
+		return
+	}
+	threads = clampThreads(threads, n)
+	if threads == 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(threads)
+	for t := 0; t < threads; t++ {
+		lo := t * n / threads
+		hi := (t + 1) * n / threads
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				body(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ForRange runs body(lo, hi) on contiguous blocks partitioning [0, n) — one
+// block per thread. This is the cheapest scheduler: a single goroutine per
+// thread and no per-iteration closure call. Use it when the body wants to
+// iterate over its block itself (e.g. to keep loop-carried locals).
+func ForRange(n, threads int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	threads = clampThreads(threads, n)
+	if threads == 1 {
+		body(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(threads)
+	for t := 0; t < threads; t++ {
+		lo := t * n / threads
+		hi := (t + 1) * n / threads
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ForDynamic runs body(i) for every i in [0, n) using dynamic chunked
+// scheduling, like "omp parallel for schedule(dynamic, grain)". It is the
+// right scheduler for skewed per-iteration work (e.g. per-edge triangle
+// intersection on power-law graphs). grain <= 0 selects a heuristic chunk.
+func ForDynamic(n, threads, grain int, body func(i int)) {
+	ForRangeDynamic(n, threads, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// ForRangeDynamic is the block form of ForDynamic: workers repeatedly claim
+// half-open chunks [lo, hi) from a shared atomic cursor until the iteration
+// space is exhausted.
+func ForRangeDynamic(n, threads, grain int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	threads = clampThreads(threads, n)
+	if grain <= 0 {
+		grain = n / (threads * 8)
+		if grain < 64 {
+			grain = 64
+		}
+	}
+	if threads == 1 {
+		body(0, n)
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(threads)
+	for t := 0; t < threads; t++ {
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(cursor.Add(int64(grain))) - grain
+				if lo >= n {
+					return
+				}
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				body(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForThreads runs body(tid) once per thread id in [0, threads), like an
+// "omp parallel" region where each thread handles its own slice of work.
+func ForThreads(threads int, body func(tid int)) {
+	if threads <= 0 {
+		threads = MaxThreads()
+	}
+	if threads == 1 {
+		body(0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(threads)
+	for t := 0; t < threads; t++ {
+		go func(t int) {
+			defer wg.Done()
+			body(t)
+		}(t)
+	}
+	wg.Wait()
+}
+
+// ReduceInt64 computes the sum of body(i) over i in [0, n) in parallel,
+// accumulating per-thread partial sums and combining them at the barrier —
+// equivalent to "omp parallel for reduction(+:sum)".
+func ReduceInt64(n, threads int, body func(i int) int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	threads = clampThreads(threads, n)
+	partial := make([]int64, threads)
+	ForThreads(threads, func(tid int) {
+		lo := tid * n / threads
+		hi := (tid + 1) * n / threads
+		var sum int64
+		for i := lo; i < hi; i++ {
+			sum += body(i)
+		}
+		partial[tid] = sum
+	})
+	var total int64
+	for _, s := range partial {
+		total += s
+	}
+	return total
+}
+
+// MaxInt32 computes the maximum of body(i) over i in [0, n) in parallel.
+// It returns def for an empty range.
+func MaxInt32(n, threads int, def int32, body func(i int) int32) int32 {
+	if n <= 0 {
+		return def
+	}
+	threads = clampThreads(threads, n)
+	partial := make([]int32, threads)
+	ForThreads(threads, func(tid int) {
+		lo := tid * n / threads
+		hi := (tid + 1) * n / threads
+		best := def
+		for i := lo; i < hi; i++ {
+			if v := body(i); v > best {
+				best = v
+			}
+		}
+		partial[tid] = best
+	})
+	best := def
+	for _, v := range partial {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}

@@ -1,0 +1,95 @@
+package concur
+
+// ExclusivePrefixSumInt64 replaces counts with its exclusive prefix sum and
+// returns the total. With threads > 1 it uses the classic two-pass blocked
+// scan (local sums, scan of block totals, local rescan) — the same scheme
+// CSR builders use to turn per-vertex degree counts into offsets.
+func ExclusivePrefixSumInt64(counts []int64, threads int) int64 {
+	n := len(counts)
+	if n == 0 {
+		return 0
+	}
+	threads = clampThreads(threads, n)
+	if threads == 1 || n < 4096 {
+		var sum int64
+		for i := range counts {
+			c := counts[i]
+			counts[i] = sum
+			sum += c
+		}
+		return sum
+	}
+	blockSums := make([]int64, threads)
+	ForThreads(threads, func(tid int) {
+		lo := tid * n / threads
+		hi := (tid + 1) * n / threads
+		var sum int64
+		for i := lo; i < hi; i++ {
+			sum += counts[i]
+		}
+		blockSums[tid] = sum
+	})
+	var total int64
+	for t := 0; t < threads; t++ {
+		s := blockSums[t]
+		blockSums[t] = total
+		total += s
+	}
+	ForThreads(threads, func(tid int) {
+		lo := tid * n / threads
+		hi := (tid + 1) * n / threads
+		sum := blockSums[tid]
+		for i := lo; i < hi; i++ {
+			c := counts[i]
+			counts[i] = sum
+			sum += c
+		}
+	})
+	return total
+}
+
+// ExclusivePrefixSumInt32 is ExclusivePrefixSumInt64 for int32 counts with
+// an int64 running total (so 2B+ element totals do not overflow the scan).
+func ExclusivePrefixSumInt32(counts []int32, threads int) int64 {
+	n := len(counts)
+	if n == 0 {
+		return 0
+	}
+	threads = clampThreads(threads, n)
+	if threads == 1 || n < 4096 {
+		var sum int64
+		for i := range counts {
+			c := int64(counts[i])
+			counts[i] = int32(sum)
+			sum += c
+		}
+		return sum
+	}
+	blockSums := make([]int64, threads)
+	ForThreads(threads, func(tid int) {
+		lo := tid * n / threads
+		hi := (tid + 1) * n / threads
+		var sum int64
+		for i := lo; i < hi; i++ {
+			sum += int64(counts[i])
+		}
+		blockSums[tid] = sum
+	})
+	var total int64
+	for t := 0; t < threads; t++ {
+		s := blockSums[t]
+		blockSums[t] = total
+		total += s
+	}
+	ForThreads(threads, func(tid int) {
+		lo := tid * n / threads
+		hi := (tid + 1) * n / threads
+		sum := blockSums[tid]
+		for i := lo; i < hi; i++ {
+			c := int64(counts[i])
+			counts[i] = int32(sum)
+			sum += c
+		}
+	})
+	return total
+}

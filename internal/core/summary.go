@@ -1,0 +1,166 @@
+// Package core implements the paper's primary contribution: EquiTruss
+// index construction (Algorithms 1–4) in one serial and three parallel
+// variants (Baseline SV, C-Optimal, Afforest).
+//
+// The index is a summary graph G(V, E): supernodes are maximal groups of
+// equal-trussness edges connected by k-triangle connectivity, and
+// superedges link a supernode to the lower-trussness supernode of any
+// triangle that spans them (Definitions 8 and 9). Supernodes partition the
+// set of edges with trussness >= 3; triangle-free edges (τ = 2) belong to
+// no supernode.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"equitruss/internal/graph"
+)
+
+// NoSupernode marks edges (τ = 2) that belong to no supernode.
+const NoSupernode int32 = -1
+
+// SummaryGraph is the EquiTruss index: the supergraph plus the edge→
+// supernode assignment needed to answer community queries.
+type SummaryGraph struct {
+	// Tau is the trussness of every edge of the original graph (kept so
+	// queries can seed from a vertex's incident edges).
+	Tau []int32
+
+	// EdgeToSN maps every edge ID to its dense supernode ID, or
+	// NoSupernode for τ=2 edges.
+	EdgeToSN []int32
+
+	// K[s] is the trussness shared by all member edges of supernode s.
+	K []int32
+
+	// Member edge IDs per supernode in CSR form:
+	// EdgeList[EdgeOffsets[s]:EdgeOffsets[s+1]].
+	EdgeOffsets []int64
+	EdgeList    []int32
+
+	// Supernode adjacency (superedges, symmetric, deduplicated) in CSR
+	// form: Adj[AdjOffsets[s]:AdjOffsets[s+1]].
+	AdjOffsets []int64
+	Adj        []int32
+}
+
+// NumSupernodes returns |V|.
+func (sg *SummaryGraph) NumSupernodes() int32 { return int32(len(sg.K)) }
+
+// NumSuperedges returns |E| (undirected, deduplicated).
+func (sg *SummaryGraph) NumSuperedges() int64 { return int64(len(sg.Adj)) / 2 }
+
+// SupernodeEdges returns the member edge IDs of supernode s (aliases
+// internal storage).
+func (sg *SummaryGraph) SupernodeEdges(s int32) []int32 {
+	return sg.EdgeList[sg.EdgeOffsets[s]:sg.EdgeOffsets[s+1]]
+}
+
+// SupernodeNeighbors returns the supernodes adjacent to s (aliases
+// internal storage).
+func (sg *SummaryGraph) SupernodeNeighbors(s int32) []int32 {
+	return sg.Adj[sg.AdjOffsets[s]:sg.AdjOffsets[s+1]]
+}
+
+// String summarizes the index.
+func (sg *SummaryGraph) String() string {
+	return fmt.Sprintf("SummaryGraph{supernodes=%d, superedges=%d}",
+		sg.NumSupernodes(), sg.NumSuperedges())
+}
+
+// Canonical returns a canonical textual form of the index — supernodes as
+// sorted member lists ordered by smallest member, superedges as sorted
+// pairs — used by tests to compare variants whose dense IDs may differ.
+func (sg *SummaryGraph) Canonical(g *graph.Graph) string {
+	s := sg.NumSupernodes()
+	members := make([][]int32, s)
+	for i := int32(0); i < s; i++ {
+		mem := append([]int32(nil), sg.SupernodeEdges(i)...)
+		sort.Slice(mem, func(a, b int) bool { return mem[a] < mem[b] })
+		members[i] = mem
+	}
+	order := make([]int32, s)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(a, b int) bool { return members[order[a]][0] < members[order[b]][0] })
+	rank := make([]int32, s)
+	for r, old := range order {
+		rank[old] = int32(r)
+	}
+	var out []byte
+	for _, old := range order {
+		out = append(out, fmt.Sprintf("SN k=%d %v\n", sg.K[old], members[old])...)
+	}
+	type pair struct{ a, b int32 }
+	var pairs []pair
+	for i := int32(0); i < s; i++ {
+		for _, nb := range sg.SupernodeNeighbors(i) {
+			a, b := rank[i], rank[nb]
+			if a < b {
+				pairs = append(pairs, pair{a, b})
+			}
+		}
+	}
+	sort.Slice(pairs, func(x, y int) bool {
+		if pairs[x].a != pairs[y].a {
+			return pairs[x].a < pairs[y].a
+		}
+		return pairs[x].b < pairs[y].b
+	})
+	for _, p := range pairs {
+		out = append(out, fmt.Sprintf("SE %d-%d\n", p.a, p.b)...)
+	}
+	return string(out)
+}
+
+// Validate checks structural invariants of the index against its graph:
+// the supernode partition covers exactly the τ>=3 edges, member trussness
+// is uniform, CSR bounds are consistent, and superedges connect supernodes
+// of different trussness (Definition 9).
+func (sg *SummaryGraph) Validate(g *graph.Graph) error {
+	m := int32(g.NumEdges())
+	if int32(len(sg.Tau)) != m || int32(len(sg.EdgeToSN)) != m {
+		return fmt.Errorf("core: index arrays sized %d/%d for %d edges", len(sg.Tau), len(sg.EdgeToSN), m)
+	}
+	s := sg.NumSupernodes()
+	seen := make([]bool, m)
+	for i := int32(0); i < s; i++ {
+		mem := sg.SupernodeEdges(i)
+		if len(mem) == 0 {
+			return fmt.Errorf("core: supernode %d empty", i)
+		}
+		for _, e := range mem {
+			if seen[e] {
+				return fmt.Errorf("core: edge %d in two supernodes", e)
+			}
+			seen[e] = true
+			if sg.Tau[e] != sg.K[i] {
+				return fmt.Errorf("core: edge %d τ=%d in supernode %d with k=%d", e, sg.Tau[e], i, sg.K[i])
+			}
+			if sg.EdgeToSN[e] != i {
+				return fmt.Errorf("core: EdgeToSN[%d]=%d but member of %d", e, sg.EdgeToSN[e], i)
+			}
+		}
+	}
+	for e := int32(0); e < m; e++ {
+		switch {
+		case sg.Tau[e] >= 3 && !seen[e]:
+			return fmt.Errorf("core: τ>=3 edge %d not in any supernode", e)
+		case sg.Tau[e] < 3 && sg.EdgeToSN[e] != NoSupernode:
+			return fmt.Errorf("core: τ=2 edge %d assigned supernode %d", e, sg.EdgeToSN[e])
+		}
+	}
+	for i := int32(0); i < s; i++ {
+		for _, nb := range sg.SupernodeNeighbors(i) {
+			if nb == i {
+				return fmt.Errorf("core: self superedge at %d", i)
+			}
+			if sg.K[nb] == sg.K[i] {
+				return fmt.Errorf("core: superedge between equal-k supernodes %d and %d (k=%d)", i, nb, sg.K[i])
+			}
+		}
+	}
+	return nil
+}

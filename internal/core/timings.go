@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Timings records per-kernel wall times of one pipeline run, matching the
+// paper's kernel breakdown (Figures 2, 4, 8): Support and TrussDecomp are
+// the prerequisite kernels; Init, SpNode, SpEdge, SmGraph, and SpNodeRemap
+// are the index-construction kernels.
+type Timings struct {
+	Support     time.Duration
+	TrussDecomp time.Duration
+	Init        time.Duration
+	SpNode      time.Duration
+	SpEdge      time.Duration
+	SmGraph     time.Duration
+	SpNodeRemap time.Duration
+	Threads     int
+}
+
+// IndexTotal is the combined time of the index-construction kernels —
+// the quantity compared across variants in the paper's Tables 4 and 5
+// ("the major computational phases: SpNd, SpEdge, and SmGraph").
+func (t Timings) IndexTotal() time.Duration {
+	return t.Init + t.SpNode + t.SpEdge + t.SmGraph + t.SpNodeRemap
+}
+
+// Total is the whole pipeline including support computation and truss
+// decomposition.
+func (t Timings) Total() time.Duration {
+	return t.Support + t.TrussDecomp + t.IndexTotal()
+}
+
+// Add accumulates kernel times (useful for averaging repeated runs).
+func (t Timings) Add(o Timings) Timings {
+	return Timings{
+		Support:     t.Support + o.Support,
+		TrussDecomp: t.TrussDecomp + o.TrussDecomp,
+		Init:        t.Init + o.Init,
+		SpNode:      t.SpNode + o.SpNode,
+		SpEdge:      t.SpEdge + o.SpEdge,
+		SmGraph:     t.SmGraph + o.SmGraph,
+		SpNodeRemap: t.SpNodeRemap + o.SpNodeRemap,
+		Threads:     t.Threads,
+	}
+}
+
+// Breakdown renders the kernels as "name pct%" pairs of the total,
+// mirroring the stacked percentage plots of Figures 2 and 4.
+func (t Timings) Breakdown() string {
+	total := t.Total()
+	if total == 0 {
+		return "(no timings)"
+	}
+	pct := func(d time.Duration) float64 { return 100 * float64(d) / float64(total) }
+	parts := []string{
+		fmt.Sprintf("Support %.1f%%", pct(t.Support)),
+		fmt.Sprintf("TrussDecomp %.1f%%", pct(t.TrussDecomp)),
+		fmt.Sprintf("Init %.1f%%", pct(t.Init)),
+		fmt.Sprintf("SpNode %.1f%%", pct(t.SpNode)),
+		fmt.Sprintf("SpEdge %.1f%%", pct(t.SpEdge)),
+		fmt.Sprintf("SmGraph %.1f%%", pct(t.SmGraph)),
+		fmt.Sprintf("SpNodeRemap %.1f%%", pct(t.SpNodeRemap)),
+	}
+	return strings.Join(parts, ", ")
+}

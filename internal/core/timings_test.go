@@ -1,0 +1,56 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"equitruss/internal/core"
+	"equitruss/internal/gen"
+)
+
+func TestTimingsArithmetic(t *testing.T) {
+	a := core.Timings{
+		Support: 1 * time.Second, TrussDecomp: 2 * time.Second,
+		Init: 1 * time.Second, SpNode: 3 * time.Second, SpEdge: 1 * time.Second,
+		SmGraph: 1 * time.Second, SpNodeRemap: 1 * time.Second, Threads: 4,
+	}
+	if a.IndexTotal() != 7*time.Second {
+		t.Fatalf("IndexTotal = %v", a.IndexTotal())
+	}
+	if a.Total() != 10*time.Second {
+		t.Fatalf("Total = %v", a.Total())
+	}
+	b := a.Add(a)
+	if b.Total() != 20*time.Second || b.Threads != 4 {
+		t.Fatalf("Add = %+v", b)
+	}
+}
+
+func TestTimingsBreakdown(t *testing.T) {
+	var zero core.Timings
+	if zero.Breakdown() != "(no timings)" {
+		t.Fatalf("zero breakdown = %q", zero.Breakdown())
+	}
+	tm := core.Timings{Support: time.Second, SpNode: 3 * time.Second}
+	s := tm.Breakdown()
+	if !strings.Contains(s, "Support 25.0%") || !strings.Contains(s, "SpNode 75.0%") {
+		t.Fatalf("breakdown = %q", s)
+	}
+}
+
+func TestAblationVariantsOnEmptyAndTiny(t *testing.T) {
+	// LP and BFS must handle graphs with no τ>=3 edges and single
+	// triangles like every other variant.
+	for _, variant := range core.AblationVariants {
+		g := gen.PaperFigure3()
+		tau := buildTau(t, g)
+		sg, tm := core.Build(g, tau, variant, 2)
+		if err := sg.Validate(g); err != nil {
+			t.Fatalf("%s: %v", variant, err)
+		}
+		if tm.SpNode < 0 {
+			t.Fatalf("%s: negative SpNode time", variant)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package ds
+
+// BucketQueue is the monotone integer priority queue that drives peeling
+// algorithms (k-core, k-truss). It keeps n items bucketed by a small
+// non-negative key and supports O(1) "decrease key by one" and amortized
+// O(1) extraction of a minimum-key item — the Batagelj–Zaversnik bin-sort
+// layout: items are kept in a dense array ordered by key, with per-item
+// positions and per-key bucket starts.
+//
+// Keys may only decrease (DecreaseKey) and only unextracted items may be
+// touched; both are what a peeling loop needs.
+type BucketQueue struct {
+	key   []int32 // current key of each item
+	pos   []int32 // position of each item in items
+	items []int32 // items ordered by key
+	start []int32 // start[k] = first index in items with key >= k
+	head  int32   // everything before head has been extracted
+	maxK  int32
+}
+
+// NewBucketQueue builds a queue over items 0..len(keys)-1 with the given
+// initial keys. maxKey must be >= max(keys).
+func NewBucketQueue(keys []int32, maxKey int32) *BucketQueue {
+	n := int32(len(keys))
+	q := &BucketQueue{
+		key:   make([]int32, n),
+		pos:   make([]int32, n),
+		items: make([]int32, n),
+		start: make([]int32, maxKey+2),
+		maxK:  maxKey,
+	}
+	copy(q.key, keys)
+	// Counting sort by key.
+	for _, k := range keys {
+		q.start[k+1]++
+	}
+	for k := int32(1); k <= maxKey+1; k++ {
+		q.start[k] += q.start[k-1]
+	}
+	fill := make([]int32, maxKey+1)
+	for i := int32(0); i < n; i++ {
+		k := keys[i]
+		p := q.start[k] + fill[k]
+		fill[k]++
+		q.items[p] = i
+		q.pos[i] = p
+	}
+	return q
+}
+
+// Empty reports whether every item has been extracted.
+func (q *BucketQueue) Empty() bool { return q.head >= int32(len(q.items)) }
+
+// PopMin extracts and returns an item with the smallest current key, along
+// with that key. Must not be called on an empty queue.
+func (q *BucketQueue) PopMin() (item, key int32) {
+	item = q.items[q.head]
+	key = q.key[item]
+	// Advance bucket starts that pointed at the popped slot.
+	for k := key; k >= 0 && q.start[k] == q.head; k-- {
+		q.start[k]++
+	}
+	q.head++
+	return item, key
+}
+
+// Key returns the current key of item i (undefined after extraction).
+func (q *BucketQueue) Key(i int32) int32 { return q.key[i] }
+
+// Extracted reports whether item i has already been popped.
+func (q *BucketQueue) Extracted(i int32) bool { return q.pos[i] < q.head }
+
+// DecreaseKey lowers item i's key by one (not below floor) by swapping it
+// with the first item of its bucket and shifting the bucket boundary — the
+// O(1) decrement at the heart of peeling.
+func (q *BucketQueue) DecreaseKey(i, floor int32) {
+	k := q.key[i]
+	if k <= floor {
+		return
+	}
+	p := q.pos[i]
+	s := q.start[k]
+	if s != p {
+		other := q.items[s]
+		q.items[s] = i
+		q.items[p] = other
+		q.pos[i] = s
+		q.pos[other] = p
+	}
+	q.start[k]++
+	q.key[i] = k - 1
+}

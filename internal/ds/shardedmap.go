@@ -1,0 +1,85 @@
+package ds
+
+import "sync"
+
+// shardCount must be a power of two so the shard index is a cheap mask.
+const shardCount = 256
+
+// ShardedMap is a lock-striped hash map from packed int64 keys to int32
+// values. It exists to model the Baseline EquiTruss variant faithfully: the
+// paper's baseline stored the τ (trussness) and Π (parent component)
+// dictionaries in hash maps, which the C-Optimal variant replaced with
+// contiguous buffers. The striping makes concurrent access safe at hash-map
+// cost, which is exactly the overhead the optimization removes.
+type ShardedMap struct {
+	shards [shardCount]mapShard
+}
+
+type mapShard struct {
+	mu sync.RWMutex
+	m  map[int64]int32
+	_  [40]byte // pad to its own cache line to avoid false sharing
+}
+
+// NewShardedMap returns an empty map with capacity hint per shard.
+func NewShardedMap(capacityHint int) *ShardedMap {
+	sm := &ShardedMap{}
+	per := capacityHint / shardCount
+	if per < 8 {
+		per = 8
+	}
+	for i := range sm.shards {
+		sm.shards[i].m = make(map[int64]int32, per)
+	}
+	return sm
+}
+
+func shardOf(key int64) int {
+	// Fibonacci hashing of the key picks the shard.
+	h := uint64(key) * 0x9E3779B97F4A7C15
+	return int(h >> 56 & (shardCount - 1))
+}
+
+// Store sets key to value.
+func (sm *ShardedMap) Store(key int64, value int32) {
+	s := &sm.shards[shardOf(key)]
+	s.mu.Lock()
+	s.m[key] = value
+	s.mu.Unlock()
+}
+
+// Load returns the value for key and whether it was present.
+func (sm *ShardedMap) Load(key int64) (int32, bool) {
+	s := &sm.shards[shardOf(key)]
+	s.mu.RLock()
+	v, ok := s.m[key]
+	s.mu.RUnlock()
+	return v, ok
+}
+
+// CompareAndSwap replaces key's value with next only if it currently equals
+// old, reporting whether the swap happened. Missing keys never match.
+func (sm *ShardedMap) CompareAndSwap(key int64, old, next int32) bool {
+	s := &sm.shards[shardOf(key)]
+	s.mu.Lock()
+	v, ok := s.m[key]
+	if !ok || v != old {
+		s.mu.Unlock()
+		return false
+	}
+	s.m[key] = next
+	s.mu.Unlock()
+	return true
+}
+
+// Len returns the total number of entries across shards.
+func (sm *ShardedMap) Len() int {
+	n := 0
+	for i := range sm.shards {
+		s := &sm.shards[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
+}

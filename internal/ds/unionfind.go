@@ -1,0 +1,152 @@
+// Package ds supplies the core data structures shared across the EquiTruss
+// pipeline: union-find forests (sequential and lock-free concurrent),
+// bitsets, the bucket queue that drives k-truss peeling, and the sharded
+// hash map that backs the Baseline variant's dictionary storage.
+package ds
+
+import "sync/atomic"
+
+// UnionFind is a sequential disjoint-set forest with union by rank and path
+// halving. IDs are dense int32 in [0, n).
+type UnionFind struct {
+	parent []int32
+	rank   []int8
+}
+
+// NewUnionFind returns a forest of n singleton sets.
+func NewUnionFind(n int) *UnionFind {
+	uf := &UnionFind{
+		parent: make([]int32, n),
+		rank:   make([]int8, n),
+	}
+	for i := range uf.parent {
+		uf.parent[i] = int32(i)
+	}
+	return uf
+}
+
+// Find returns the representative of x, halving the path along the way.
+func (uf *UnionFind) Find(x int32) int32 {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]]
+		x = uf.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets containing x and y and reports whether they were
+// previously distinct.
+func (uf *UnionFind) Union(x, y int32) bool {
+	rx, ry := uf.Find(x), uf.Find(y)
+	if rx == ry {
+		return false
+	}
+	if uf.rank[rx] < uf.rank[ry] {
+		rx, ry = ry, rx
+	}
+	uf.parent[ry] = rx
+	if uf.rank[rx] == uf.rank[ry] {
+		uf.rank[rx]++
+	}
+	return true
+}
+
+// Same reports whether x and y are in the same set.
+func (uf *UnionFind) Same(x, y int32) bool { return uf.Find(x) == uf.Find(y) }
+
+// Len returns the number of elements in the forest.
+func (uf *UnionFind) Len() int { return len(uf.parent) }
+
+// ConcurrentUnionFind is a wait-free-ish disjoint-set forest safe for
+// concurrent Union/Find from many goroutines. It implements the
+// priority-hook scheme used by Afforest: Union links the larger root under
+// the smaller via CAS, and Find performs lock-free path compression.
+type ConcurrentUnionFind struct {
+	parent []int32
+}
+
+// NewConcurrentUnionFind returns a concurrent forest of n singleton sets.
+func NewConcurrentUnionFind(n int) *ConcurrentUnionFind {
+	cuf := &ConcurrentUnionFind{parent: make([]int32, n)}
+	for i := range cuf.parent {
+		cuf.parent[i] = int32(i)
+	}
+	return cuf
+}
+
+// Find returns the current representative of x. Concurrent unions may move
+// the representative; callers that need a settled answer call Flatten first.
+func (cuf *ConcurrentUnionFind) Find(x int32) int32 {
+	for {
+		p := atomic.LoadInt32(&cuf.parent[x])
+		if p == x {
+			return x
+		}
+		gp := atomic.LoadInt32(&cuf.parent[p])
+		if gp == p {
+			return p
+		}
+		// Path compression: benign if it loses a race.
+		atomic.CompareAndSwapInt32(&cuf.parent[x], p, gp)
+		x = gp
+	}
+}
+
+// Union merges the sets containing x and y, hooking the higher root under
+// the lower one (priority by ID, matching SV's "hook to smaller parent").
+func (cuf *ConcurrentUnionFind) Union(x, y int32) {
+	for {
+		rx := cuf.Find(x)
+		ry := cuf.Find(y)
+		if rx == ry {
+			return
+		}
+		if rx > ry {
+			rx, ry = ry, rx
+		}
+		// Hook ry under rx only if ry is still a root.
+		if atomic.CompareAndSwapInt32(&cuf.parent[ry], ry, rx) {
+			return
+		}
+	}
+}
+
+// Same reports whether x and y are currently in the same set. Only exact
+// when no unions are running concurrently.
+func (cuf *ConcurrentUnionFind) Same(x, y int32) bool {
+	for {
+		rx := cuf.Find(x)
+		ry := cuf.Find(y)
+		if rx == ry {
+			return true
+		}
+		// rx may no longer be a root if a concurrent union hooked it.
+		if atomic.LoadInt32(&cuf.parent[rx]) == rx {
+			return false
+		}
+	}
+}
+
+// Flatten points every element directly at its root. Call after all unions
+// complete (single-threaded or from a quiescent barrier).
+func (cuf *ConcurrentUnionFind) Flatten() {
+	for i := range cuf.parent {
+		x := int32(i)
+		r := x
+		for cuf.parent[r] != r {
+			r = cuf.parent[r]
+		}
+		for cuf.parent[x] != r {
+			next := cuf.parent[x]
+			cuf.parent[x] = r
+			x = next
+		}
+	}
+}
+
+// Parents exposes the raw parent array (after Flatten: the component label
+// of each element).
+func (cuf *ConcurrentUnionFind) Parents() []int32 { return cuf.parent }
+
+// Len returns the number of elements in the forest.
+func (cuf *ConcurrentUnionFind) Len() int { return len(cuf.parent) }

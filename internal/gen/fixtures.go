@@ -1,0 +1,112 @@
+package gen
+
+import "equitruss/internal/graph"
+
+// PaperFigure3 returns the 11-vertex worked example from Figure 3 of the
+// paper (originally from Akbas & Zhao's EquiTruss paper). Its EquiTruss
+// summary graph is known exactly:
+//
+//	ν0 (k=3): {(0,4)}
+//	ν1 (k=4): {(0,1),(0,2),(0,3),(1,2),(1,3),(2,3)}          — the 4-clique 0..3
+//	ν2 (k=3): {(2,6),(2,8)}
+//	ν3 (k=4): {(3,4),(3,5),(3,6),(4,5),(4,6),(5,6),(5,7),(5,10)}
+//	ν4 (k=5): the 5-clique 6..10 (10 edges)
+//
+// with superedges ν0–ν1, ν0–ν3, ν1–ν2, ν2–ν3, ν2–ν4, ν3–ν4 (the
+// mixed-trussness triangles (0,3,4), (2,3,6), (2,6,8), and the three
+// triangles spanning ν3/ν4 around vertices 5–7–10).
+func PaperFigure3() *graph.Graph {
+	edges := []graph.Edge{
+		{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}, {U: 0, V: 4},
+		{U: 1, V: 2}, {U: 1, V: 3},
+		{U: 2, V: 3}, {U: 2, V: 6}, {U: 2, V: 8},
+		{U: 3, V: 4}, {U: 3, V: 5}, {U: 3, V: 6},
+		{U: 4, V: 5}, {U: 4, V: 6},
+		{U: 5, V: 6}, {U: 5, V: 7}, {U: 5, V: 10},
+		{U: 6, V: 7}, {U: 6, V: 8}, {U: 6, V: 9}, {U: 6, V: 10},
+		{U: 7, V: 8}, {U: 7, V: 9}, {U: 7, V: 10},
+		{U: 8, V: 9}, {U: 8, V: 10},
+		{U: 9, V: 10},
+	}
+	g, err := graph.FromEdgeList(edges, 11)
+	if err != nil {
+		panic("gen: figure-3 fixture failed: " + err.Error())
+	}
+	return g
+}
+
+// TwoTriangles returns two triangles sharing the single vertex 2 (bowtie):
+// no shared edge, so the triangles are NOT triangle-connected.
+func TwoTriangles() *graph.Graph {
+	edges := []graph.Edge{
+		{U: 0, V: 1}, {U: 0, V: 2}, {U: 1, V: 2},
+		{U: 2, V: 3}, {U: 2, V: 4}, {U: 3, V: 4},
+	}
+	g, err := graph.FromEdgeList(edges, 5)
+	if err != nil {
+		panic("gen: two-triangles fixture failed: " + err.Error())
+	}
+	return g
+}
+
+// TriangleStrip returns the strip graph on n vertices with edges (i, i+1)
+// and (i, i+2): consecutive triangles share an edge, so the whole strip is
+// one triangle-connected 3-truss (every edge trussness 3 for n >= 4) — a
+// single supernode spanning arbitrarily many edges.
+func TriangleStrip(n int32) *graph.Graph {
+	var edges []graph.Edge
+	for i := int32(0); i+1 < n; i++ {
+		edges = append(edges, graph.Edge{U: i, V: i + 1})
+		if i+2 < n {
+			edges = append(edges, graph.Edge{U: i, V: i + 2})
+		}
+	}
+	g, err := graph.FromEdgeList(edges, n)
+	if err != nil {
+		panic("gen: triangle-strip fixture failed: " + err.Error())
+	}
+	return g
+}
+
+// BridgedCliques returns two K_c cliques joined by a single bridge edge:
+// two high-truss supernodes and one trussness-2 bridge that belongs to no
+// triangle (so no supernode at k >= 3 contains it).
+func BridgedCliques(c int32) *graph.Graph {
+	var edges []graph.Edge
+	for u := int32(0); u < c; u++ {
+		for v := u + 1; v < c; v++ {
+			edges = append(edges, graph.Edge{U: u, V: v})
+			edges = append(edges, graph.Edge{U: c + u, V: c + v})
+		}
+	}
+	edges = append(edges, graph.Edge{U: c - 1, V: c})
+	g, err := graph.FromEdgeList(edges, 2*c)
+	if err != nil {
+		panic("gen: bridged-cliques fixture failed: " + err.Error())
+	}
+	return g
+}
+
+// SharedEdgeCliquePair returns two cliques K_a and K_b overlapping in
+// exactly one shared edge — the canonical overlapping-community shape: the
+// shared edge's endpoints belong to both communities.
+func SharedEdgeCliquePair(a, b int32) *graph.Graph {
+	var edges []graph.Edge
+	// Clique A on vertices 0..a-1; clique B on vertices a-2..a+b-3
+	// (so vertices a-2 and a-1 are shared).
+	for u := int32(0); u < a; u++ {
+		for v := u + 1; v < a; v++ {
+			edges = append(edges, graph.Edge{U: u, V: v})
+		}
+	}
+	for u := a - 2; u < a+b-2; u++ {
+		for v := u + 1; v < a+b-2; v++ {
+			edges = append(edges, graph.Edge{U: u, V: v})
+		}
+	}
+	g, err := graph.FromEdgeList(edges, a+b-2)
+	if err != nil {
+		panic("gen: shared-edge-clique fixture failed: " + err.Error())
+	}
+	return g
+}

@@ -1,0 +1,43 @@
+// Package gen generates the synthetic graphs used throughout the test and
+// benchmark suites: R-MAT and Erdős–Rényi random graphs, Barabási–Albert
+// preferential attachment, planted-partition community graphs, small named
+// fixtures (including the paper's Figure 3 worked example), and the dataset
+// surrogates standing in for the SNAP networks of the paper's evaluation
+// (Amazon, DBLP, YouTube, LiveJournal, Orkut, Friendster), which are not
+// redistributable and far exceed laptop scale.
+//
+// All generators are deterministic for a given seed so experiments are
+// reproducible run to run.
+package gen
+
+// rng is SplitMix64: a tiny, fast, high-quality 64-bit PRNG. We carry our
+// own instead of math/rand so that streams can be split cheaply per
+// goroutine with guaranteed determinism regardless of Go version.
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng {
+	return &rng{state: seed*0x9E3779B97F4A7C15 + 0x632BE59BD9B4E019}
+}
+
+func (r *rng) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// intn returns a uniform integer in [0, n).
+func (r *rng) intn(n int64) int64 {
+	return int64(r.next() % uint64(n))
+}
+
+// float64v returns a uniform float64 in [0, 1).
+func (r *rng) float64v() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// split derives an independent child stream.
+func (r *rng) split() *rng {
+	return newRNG(r.next())
+}

@@ -1,0 +1,45 @@
+package graph
+
+import "sort"
+
+// RelabelByDegree returns a copy of g whose vertex IDs are reassigned in
+// non-increasing degree order (hubs first), plus the mapping from new to
+// old IDs. Degree ordering improves cache locality of adjacency scans on
+// skewed graphs — the storage discipline behind the GAP CSRGraph the
+// paper's C-Optimal variant adopts.
+func RelabelByDegree(g *Graph) (*Graph, []int32, error) {
+	n := g.NumVertices()
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		da, db := g.Degree(order[a]), g.Degree(order[b])
+		if da != db {
+			return da > db
+		}
+		return order[a] < order[b]
+	})
+	oldToNew := make([]int32, n)
+	for newID, oldID := range order {
+		oldToNew[oldID] = int32(newID)
+	}
+	edges := make([]Edge, g.NumEdges())
+	for eid, e := range g.Edges() {
+		edges[eid] = Edge{U: oldToNew[e.U], V: oldToNew[e.V]}.Canonical()
+	}
+	ng, err := FromEdgeList(edges, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ng, order, nil
+}
+
+// DegreeHistogram returns the count of vertices per degree value.
+func DegreeHistogram(g *Graph) map[int32]int64 {
+	hist := make(map[int32]int64)
+	for v := int32(0); v < g.NumVertices(); v++ {
+		hist[g.Degree(v)]++
+	}
+	return hist
+}

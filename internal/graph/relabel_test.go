@@ -1,0 +1,49 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRelabelByDegree(t *testing.T) {
+	rnd := rand.New(rand.NewSource(5))
+	var in []Edge
+	for i := 0; i < 800; i++ {
+		in = append(in, Edge{int32(rnd.Intn(120)), int32(rnd.Intn(120))})
+	}
+	g := mustGraph(t, in, 120)
+	ng, newToOld, err := RelabelByDegree(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ng.NumVertices() != g.NumVertices() || ng.NumEdges() != g.NumEdges() {
+		t.Fatalf("shape changed: %v vs %v", ng, g)
+	}
+	// Degrees must be non-increasing in the new labelling.
+	for v := int32(1); v < ng.NumVertices(); v++ {
+		if ng.Degree(v) > ng.Degree(v-1) {
+			t.Fatalf("degree order violated at %d: %d > %d", v, ng.Degree(v), ng.Degree(v-1))
+		}
+	}
+	// Isomorphism: edge (a, b) in new graph iff (old(a), old(b)) in old.
+	for eid := int32(0); eid < int32(ng.NumEdges()); eid++ {
+		e := ng.Edge(eid)
+		if !g.HasEdge(newToOld[e.U], newToOld[e.V]) {
+			t.Fatalf("edge %v has no preimage", e)
+		}
+	}
+	// Degree preserved per vertex through the mapping.
+	for v := int32(0); v < ng.NumVertices(); v++ {
+		if ng.Degree(v) != g.Degree(newToOld[v]) {
+			t.Fatalf("degree of %d changed", v)
+		}
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := mustGraph(t, []Edge{{0, 1}, {0, 2}, {0, 3}}, 5)
+	hist := DegreeHistogram(g)
+	if hist[3] != 1 || hist[1] != 3 || hist[0] != 1 {
+		t.Fatalf("histogram = %v", hist)
+	}
+}

@@ -1,0 +1,72 @@
+package graphio
+
+import (
+	"compress/gzip"
+	"io"
+	"os"
+	"strings"
+)
+
+// openMaybeGzip opens path for reading, transparently decompressing when
+// the name ends in ".gz" — SNAP distributes its edge lists gzipped, so the
+// loaders accept them directly.
+func openMaybeGzip(path string) (io.ReadCloser, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	if !strings.HasSuffix(path, ".gz") {
+		return f, nil
+	}
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &gzipReadCloser{zr: zr, f: f}, nil
+}
+
+type gzipReadCloser struct {
+	zr *gzip.Reader
+	f  *os.File
+}
+
+func (g *gzipReadCloser) Read(p []byte) (int, error) { return g.zr.Read(p) }
+
+func (g *gzipReadCloser) Close() error {
+	zerr := g.zr.Close()
+	ferr := g.f.Close()
+	if zerr != nil {
+		return zerr
+	}
+	return ferr
+}
+
+// createMaybeGzip creates path for writing, compressing when the name ends
+// in ".gz".
+func createMaybeGzip(path string) (io.WriteCloser, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if !strings.HasSuffix(path, ".gz") {
+		return f, nil
+	}
+	return &gzipWriteCloser{zw: gzip.NewWriter(f), f: f}, nil
+}
+
+type gzipWriteCloser struct {
+	zw *gzip.Writer
+	f  *os.File
+}
+
+func (g *gzipWriteCloser) Write(p []byte) (int, error) { return g.zw.Write(p) }
+
+func (g *gzipWriteCloser) Close() error {
+	zerr := g.zw.Close()
+	ferr := g.f.Close()
+	if zerr != nil {
+		return zerr
+	}
+	return ferr
+}

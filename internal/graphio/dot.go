@@ -1,0 +1,51 @@
+package graphio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"equitruss/internal/core"
+	"equitruss/internal/graph"
+)
+
+// WriteSummaryDOT renders the supergraph in Graphviz DOT: one node per
+// supernode labelled "ν<id> k=<k> |E|=<members>", one undirected edge per
+// superedge — the picture in the paper's Figure 3b, for any graph.
+func WriteSummaryDOT(w io.Writer, sg *core.SummaryGraph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "graph equitruss {")
+	fmt.Fprintln(bw, "  node [shape=ellipse];")
+	for s := int32(0); s < sg.NumSupernodes(); s++ {
+		members := sg.EdgeOffsets[s+1] - sg.EdgeOffsets[s]
+		fmt.Fprintf(bw, "  sn%d [label=\"ν%d k=%d |E|=%d\"];\n", s, s, sg.K[s], members)
+	}
+	for s := int32(0); s < sg.NumSupernodes(); s++ {
+		for _, nb := range sg.SupernodeNeighbors(s) {
+			if s < nb {
+				fmt.Fprintf(bw, "  sn%d -- sn%d;\n", s, nb)
+			}
+		}
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}
+
+// WriteGraphDOT renders the original graph in DOT with optional per-edge
+// trussness labels (pass nil to omit), matching the paper's Figure 3a
+// presentation. Intended for small graphs.
+func WriteGraphDOT(w io.Writer, g *graph.Graph, tau []int32) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "graph g {")
+	fmt.Fprintln(bw, "  node [shape=circle];")
+	for eid := int32(0); eid < int32(g.NumEdges()); eid++ {
+		e := g.Edge(eid)
+		if tau != nil {
+			fmt.Fprintf(bw, "  %d -- %d [label=\"%d\"];\n", e.U, e.V, tau[eid])
+		} else {
+			fmt.Fprintf(bw, "  %d -- %d;\n", e.U, e.V)
+		}
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

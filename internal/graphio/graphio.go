@@ -1,0 +1,227 @@
+// Package graphio reads and writes graphs and indexes: SNAP-style
+// whitespace-separated edge-list text (the format of the paper's datasets)
+// and a compact little-endian binary format for graphs and summary graphs
+// so large inputs and built indexes can be cached between runs.
+package graphio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"equitruss/internal/core"
+	"equitruss/internal/graph"
+)
+
+// ReadEdgeList parses SNAP-style text: one "u v" pair per line, '#' or '%'
+// comment lines ignored, duplicate edges and self-loops tolerated (the CSR
+// builder removes them).
+func ReadEdgeList(r io.Reader) (*graph.Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var edges []graph.Edge
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || text[0] == '#' || text[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graphio: line %d: want 'u v', got %q", line, text)
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graphio: line %d: bad vertex %q: %v", line, fields[0], err)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graphio: line %d: bad vertex %q: %v", line, fields[1], err)
+		}
+		edges = append(edges, graph.Edge{U: int32(u), V: int32(v)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graphio: scan: %w", err)
+	}
+	return graph.FromEdgeList(edges, 0)
+}
+
+// ReadEdgeListFile opens and parses an edge-list file. Files ending in
+// ".gz" are decompressed transparently (SNAP's distribution format).
+func ReadEdgeListFile(path string) (*graph.Graph, error) {
+	f, err := openMaybeGzip(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadEdgeList(f)
+}
+
+// WriteEdgeList writes the graph as SNAP-style text with a header comment.
+func WriteEdgeList(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# undirected graph: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+	for _, e := range g.Edges() {
+		fmt.Fprintf(bw, "%d %d\n", e.U, e.V)
+	}
+	return bw.Flush()
+}
+
+// WriteEdgeListFile writes the graph to a file, gzip-compressed when the
+// path ends in ".gz".
+func WriteEdgeListFile(path string, g *graph.Graph) error {
+	f, err := createMaybeGzip(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteEdgeList(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+const (
+	graphMagic = uint32(0x45515452) // "EQTR"
+	indexMagic = uint32(0x45515449) // "EQTI"
+	formatV1   = uint32(1)
+
+	// maxSaneCount bounds any size field read from an untrusted stream
+	// before it drives an allocation: edge IDs are int32, so anything
+	// larger is corrupt by construction.
+	maxSaneCount = int64(1) << 31
+)
+
+// WriteBinaryGraph serializes the graph in the compact binary format.
+func WriteBinaryGraph(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	hdr := []uint32{graphMagic, formatV1}
+	for _, h := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, int64(g.NumVertices())); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.NumEdges()); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.Edges()); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadBinaryGraph deserializes a graph written by WriteBinaryGraph.
+func ReadBinaryGraph(r io.Reader) (*graph.Graph, error) {
+	br := bufio.NewReader(r)
+	var magic, version uint32
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return nil, err
+	}
+	if magic != graphMagic {
+		return nil, fmt.Errorf("graphio: bad graph magic %#x", magic)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, err
+	}
+	if version != formatV1 {
+		return nil, fmt.Errorf("graphio: unsupported graph format version %d", version)
+	}
+	var n, m int64
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &m); err != nil {
+		return nil, err
+	}
+	if n < 0 || m < 0 || n > maxSaneCount || m > maxSaneCount {
+		return nil, fmt.Errorf("graphio: corrupt header n=%d m=%d", n, m)
+	}
+	edges := make([]graph.Edge, m)
+	if err := binary.Read(br, binary.LittleEndian, edges); err != nil {
+		return nil, err
+	}
+	return graph.FromEdgeList(edges, int32(n))
+}
+
+// WriteBinaryIndex serializes a summary graph.
+func WriteBinaryIndex(w io.Writer, sg *core.SummaryGraph) error {
+	bw := bufio.NewWriter(w)
+	for _, h := range []uint32{indexMagic, formatV1} {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return err
+		}
+	}
+	sizes := []int64{
+		int64(len(sg.Tau)), int64(len(sg.K)),
+		int64(len(sg.EdgeList)), int64(len(sg.Adj)),
+	}
+	if err := binary.Write(bw, binary.LittleEndian, sizes); err != nil {
+		return err
+	}
+	for _, arr := range [][]int32{sg.Tau, sg.EdgeToSN, sg.K, sg.EdgeList, sg.Adj} {
+		if err := binary.Write(bw, binary.LittleEndian, arr); err != nil {
+			return err
+		}
+	}
+	for _, arr := range [][]int64{sg.EdgeOffsets, sg.AdjOffsets} {
+		if err := binary.Write(bw, binary.LittleEndian, arr); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinaryIndex deserializes a summary graph written by WriteBinaryIndex.
+func ReadBinaryIndex(r io.Reader) (*core.SummaryGraph, error) {
+	br := bufio.NewReader(r)
+	var magic, version uint32
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return nil, err
+	}
+	if magic != indexMagic {
+		return nil, fmt.Errorf("graphio: bad index magic %#x", magic)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, err
+	}
+	if version != formatV1 {
+		return nil, fmt.Errorf("graphio: unsupported index format version %d", version)
+	}
+	sizes := make([]int64, 4)
+	if err := binary.Read(br, binary.LittleEndian, sizes); err != nil {
+		return nil, err
+	}
+	m, s, el, al := sizes[0], sizes[1], sizes[2], sizes[3]
+	for _, sz := range sizes {
+		if sz < 0 || sz > maxSaneCount {
+			return nil, fmt.Errorf("graphio: corrupt index sizes %v", sizes)
+		}
+	}
+	sg := &core.SummaryGraph{
+		Tau:         make([]int32, m),
+		EdgeToSN:    make([]int32, m),
+		K:           make([]int32, s),
+		EdgeList:    make([]int32, el),
+		Adj:         make([]int32, al),
+		EdgeOffsets: make([]int64, s+1),
+		AdjOffsets:  make([]int64, s+1),
+	}
+	for _, arr := range [][]int32{sg.Tau, sg.EdgeToSN, sg.K, sg.EdgeList, sg.Adj} {
+		if err := binary.Read(br, binary.LittleEndian, arr); err != nil {
+			return nil, err
+		}
+	}
+	for _, arr := range [][]int64{sg.EdgeOffsets, sg.AdjOffsets} {
+		if err := binary.Read(br, binary.LittleEndian, arr); err != nil {
+			return nil, err
+		}
+	}
+	return sg, nil
+}

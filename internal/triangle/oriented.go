@@ -1,0 +1,138 @@
+package triangle
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"equitruss/internal/concur"
+	"equitruss/internal/graph"
+)
+
+// SupportsOriented computes per-edge supports with the compact-forward
+// scheme behind the O(|E|^1.5) bound the paper cites: orient every edge
+// from lower to higher (degree, id) rank, enumerate each triangle exactly
+// once as an intersection of out-neighborhoods, and atomically credit all
+// three member edges. On skewed graphs the oriented lists are much shorter
+// than hub adjacencies, trading the merge kernel's atomic-freedom for far
+// less intersection work.
+func SupportsOriented(g *graph.Graph, threads int) []int32 {
+	n := int(g.NumVertices())
+	m := int(g.NumEdges())
+	sup := make([]int32, m)
+	if m == 0 {
+		return sup
+	}
+	if threads <= 0 {
+		threads = concur.MaxThreads()
+	}
+
+	// Rank vertices by (degree, id); rank[u] < rank[v] orients u -> v.
+	rank := make([]int32, n)
+	concur.For(n, threads, func(i int) { rank[i] = int32(i) })
+	sort.Slice(rank, func(a, b int) bool {
+		da, db := g.Degree(rank[a]), g.Degree(rank[b])
+		if da != db {
+			return da < db
+		}
+		return rank[a] < rank[b]
+	})
+	pos := make([]int32, n)
+	for r, v := range rank {
+		pos[v] = int32(r)
+	}
+
+	// Build the oriented CSR: out-neighbors of v are neighbors with higher
+	// rank, kept with their edge IDs and sorted by rank for merging.
+	outOff := make([]int64, n+1)
+	concur.For(n, threads, func(i int) {
+		v := int32(i)
+		var d int64
+		for _, w := range g.Neighbors(v) {
+			if pos[w] > pos[v] {
+				d++
+			}
+		}
+		outOff[i+1] = d
+	})
+	for i := 0; i < n; i++ {
+		outOff[i+1] += outOff[i]
+	}
+	total := outOff[n]
+	outRank := make([]int32, total) // rank of the head vertex
+	outEID := make([]int32, total)
+	concur.For(n, threads, func(i int) {
+		v := int32(i)
+		nbrs := g.Neighbors(v)
+		eids := g.IncidentEIDs(v)
+		c := outOff[i]
+		for j, w := range nbrs {
+			if pos[w] > pos[v] {
+				outRank[c] = pos[w]
+				outEID[c] = eids[j]
+				c++
+			}
+		}
+		lo, hi := outOff[i], c
+		sortPairByRank(outRank[lo:hi], outEID[lo:hi])
+	})
+
+	// Enumerate: for each oriented edge (v, w), intersect out(v) × out(w).
+	edges := g.Edges()
+	concur.ForRangeDynamic(m, threads, 512, func(lo, hi int) {
+		for eid := lo; eid < hi; eid++ {
+			e := edges[eid]
+			u, v := e.U, e.V
+			if pos[u] > pos[v] {
+				u, v = v, u // orient: u -> v
+			}
+			au, bu := outOff[u], outOff[u+1]
+			av, bv := outOff[v], outOff[v+1]
+			i, j := au, av
+			for i < bu && j < bv {
+				ri, rj := outRank[i], outRank[j]
+				switch {
+				case ri < rj:
+					i++
+				case ri > rj:
+					j++
+				default:
+					// Triangle (u, v, w): credit all three edges.
+					atomic.AddInt32(&sup[eid], 1)
+					atomic.AddInt32(&sup[outEID[i]], 1)
+					atomic.AddInt32(&sup[outEID[j]], 1)
+					i++
+					j++
+				}
+			}
+		}
+	})
+	return sup
+}
+
+// sortPairByRank sorts ranks ascending, permuting eids identically.
+func sortPairByRank(ranks, eids []int32) {
+	if len(ranks) < 24 {
+		for i := 1; i < len(ranks); i++ {
+			r, e := ranks[i], eids[i]
+			j := i - 1
+			for j >= 0 && ranks[j] > r {
+				ranks[j+1], eids[j+1] = ranks[j], eids[j]
+				j--
+			}
+			ranks[j+1], eids[j+1] = r, e
+		}
+		return
+	}
+	idx := make([]int32, len(ranks))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.Slice(idx, func(x, y int) bool { return ranks[idx[x]] < ranks[idx[y]] })
+	tr := make([]int32, len(ranks))
+	te := make([]int32, len(ranks))
+	for i, p := range idx {
+		tr[i], te[i] = ranks[p], eids[p]
+	}
+	copy(ranks, tr)
+	copy(eids, te)
+}

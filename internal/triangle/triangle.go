@@ -1,0 +1,123 @@
+// Package triangle implements the Support kernel of the pipeline: exact
+// per-edge triangle counts (Definition 2 of the paper) plus whole-graph
+// triangle counting.
+//
+// Support of edge (u, v) equals |N(u) ∩ N(v)| in a simple graph, so each
+// edge's support is computed independently by a sorted-merge intersection —
+// embarrassingly parallel with no atomics. Dynamic chunk scheduling evens
+// out power-law skew (hub edges cost far more than leaf edges).
+package triangle
+
+import (
+	"equitruss/internal/concur"
+	"equitruss/internal/graph"
+)
+
+// Supports returns support(e) for every edge ID, computed with the given
+// number of threads (<= 0 means all cores).
+func Supports(g *graph.Graph, threads int) []int32 {
+	m := int(g.NumEdges())
+	sup := make([]int32, m)
+	edges := g.Edges()
+	concur.ForRangeDynamic(m, threads, 512, func(lo, hi int) {
+		for eid := lo; eid < hi; eid++ {
+			e := edges[eid]
+			sup[eid] = g.CommonNeighborCount(e.U, e.V)
+		}
+	})
+	return sup
+}
+
+// SupportsGalloping is Supports with a galloping (binary-probing)
+// intersection that wins when one endpoint's list is much longer than the
+// other — the ablation comparator for the merge-based kernel.
+func SupportsGalloping(g *graph.Graph, threads int) []int32 {
+	m := int(g.NumEdges())
+	sup := make([]int32, m)
+	edges := g.Edges()
+	concur.ForRangeDynamic(m, threads, 512, func(lo, hi int) {
+		for eid := lo; eid < hi; eid++ {
+			e := edges[eid]
+			nu, nv := g.Neighbors(e.U), g.Neighbors(e.V)
+			if len(nu) > len(nv) {
+				nu, nv = nv, nu
+			}
+			if len(nv) >= 16*len(nu) {
+				sup[eid] = gallopIntersect(nu, nv)
+			} else {
+				sup[eid] = mergeIntersect(nu, nv)
+			}
+		}
+	})
+	return sup
+}
+
+func mergeIntersect(a, b []int32) int32 {
+	var count int32
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			count++
+			i++
+			j++
+		}
+	}
+	return count
+}
+
+// gallopIntersect counts |a ∩ b| assuming len(a) << len(b): for each
+// element of a it gallops forward in b (doubling probe, then binary search
+// within the bracket).
+func gallopIntersect(a, b []int32) int32 {
+	var count int32
+	lo := 0
+	for _, x := range a {
+		// Gallop to find the bracket containing x.
+		step := 1
+		hi := lo
+		for hi < len(b) && b[hi] < x {
+			lo = hi + 1
+			hi += step
+			step *= 2
+		}
+		if hi > len(b) {
+			hi = len(b)
+		}
+		// Binary search in (lo-1, hi].
+		l, r := lo, hi
+		for l < r {
+			mid := (l + r) / 2
+			if b[mid] < x {
+				l = mid + 1
+			} else {
+				r = mid
+			}
+		}
+		if l < len(b) && b[l] == x {
+			count++
+			l++
+		}
+		lo = l
+		if lo >= len(b) {
+			break
+		}
+	}
+	return count
+}
+
+// Count returns the total number of triangles in g. Every triangle is
+// counted once per constituent edge by the per-edge supports, so the sum of
+// supports equals three times the triangle count.
+func Count(g *graph.Graph, threads int) int64 {
+	sup := Supports(g, threads)
+	var total int64
+	for _, s := range sup {
+		total += int64(s)
+	}
+	return total / 3
+}

@@ -1,0 +1,131 @@
+package truss
+
+import (
+	"sync/atomic"
+
+	"equitruss/internal/concur"
+	"equitruss/internal/ds"
+	"equitruss/internal/graph"
+)
+
+// DecomposeParallel is the level-synchronous parallel peeling: at peel
+// level L all alive edges with support <= L are peeled together in
+// sub-rounds, decrementing surviving triangle partners with atomics. The
+// triangle shared between two simultaneously peeled edges is settled by an
+// edge-ID tie-break so each destroyed triangle decrements each survivor
+// exactly once — the discipline of shared-memory PKT-style decompositions.
+//
+// The result is exactly DecomposeSerial's (trussness is unique).
+func DecomposeParallel(g *graph.Graph, supports []int32, threads int) (tau []int32, kmax int32) {
+	m := int32(g.NumEdges())
+	tau = make([]int32, m)
+	if m == 0 {
+		return tau, MinTrussness
+	}
+	if threads <= 0 {
+		threads = concur.MaxThreads()
+	}
+	sup := make([]int32, m)
+	copy(sup, supports)
+	deleted := ds.NewBitset(int(m))
+	inCurr := ds.NewBitset(int(m))
+	remaining := int64(m)
+	level := int32(0)
+
+	// Per-thread next-frontier buffers, reused across sub-rounds.
+	nextBufs := make([][]int32, threads)
+
+	for remaining > 0 {
+		// Collect the initial frontier for this level.
+		curr := collectFrontier(sup, deleted, level, threads)
+		for len(curr) > 0 {
+			n := len(curr)
+			concur.For(n, threads, func(i int) { inCurr.SetAtomic(int(curr[i])) })
+			for t := range nextBufs {
+				nextBufs[t] = nextBufs[t][:0]
+			}
+			concur.ForThreads(threads, func(tid int) {
+				lo := tid * n / threads
+				hi := (tid + 1) * n / threads
+				next := nextBufs[tid]
+				for i := lo; i < hi; i++ {
+					e := curr[i]
+					tau[e] = level + 2
+					g.ForEachTriangleOf(e, func(w, e1, e2 int32) bool {
+						if deleted.Get(int(e1)) || deleted.Get(int(e2)) {
+							return true
+						}
+						c1 := inCurr.Get(int(e1))
+						c2 := inCurr.Get(int(e2))
+						switch {
+						case c1 && c2:
+							// Whole triangle peeled this sub-round.
+						case c1:
+							// e and e1 peeled together; e owns the
+							// decrement of e2 iff it has the smaller ID.
+							if e < e1 {
+								next = decCapture(sup, e2, level, next)
+							}
+						case c2:
+							if e < e2 {
+								next = decCapture(sup, e1, level, next)
+							}
+						default:
+							next = decCapture(sup, e1, level, next)
+							next = decCapture(sup, e2, level, next)
+						}
+						return true
+					})
+				}
+				nextBufs[tid] = next
+			})
+			// Retire the processed frontier.
+			concur.For(n, threads, func(i int) {
+				e := curr[i]
+				inCurr.ClearAtomic(int(e))
+				deleted.SetAtomic(int(e))
+			})
+			remaining -= int64(n)
+			curr = curr[:0]
+			for t := range nextBufs {
+				curr = append(curr, nextBufs[t]...)
+			}
+		}
+		level++
+	}
+	return tau, KMax(tau)
+}
+
+// decCapture atomically decrements sup[e] and appends e to next exactly
+// when the decrement crosses into the current peel level — the
+// capture-on-transition trick that guarantees each edge enters the frontier
+// once.
+func decCapture(sup []int32, e, level int32, next []int32) []int32 {
+	if v := atomic.AddInt32(&sup[e], -1); v == level {
+		next = append(next, e)
+	}
+	return next
+}
+
+// collectFrontier gathers all alive edges with support <= level using
+// per-thread buffers.
+func collectFrontier(sup []int32, deleted *ds.Bitset, level int32, threads int) []int32 {
+	m := len(sup)
+	bufs := make([][]int32, threads)
+	concur.ForThreads(threads, func(tid int) {
+		lo := tid * m / threads
+		hi := (tid + 1) * m / threads
+		var buf []int32
+		for e := lo; e < hi; e++ {
+			if !deleted.Get(e) && sup[e] <= level {
+				buf = append(buf, int32(e))
+			}
+		}
+		bufs[tid] = buf
+	})
+	var out []int32
+	for _, b := range bufs {
+		out = append(out, b...)
+	}
+	return out
+}

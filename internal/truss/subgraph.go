@@ -1,0 +1,19 @@
+package truss
+
+import "equitruss/internal/graph"
+
+// MaximalKTruss materializes the maximal k-truss of g given a completed
+// decomposition: the subgraph of all edges with τ(e) >= k (Definition 3's
+// maximal witness). Vertex IDs are preserved.
+func MaximalKTruss(g *graph.Graph, tau []int32, k int32) (*graph.Graph, error) {
+	return g.InducedByEdges(func(eid int32) bool { return tau[eid] >= k })
+}
+
+// TrussnessHistogram returns edge counts per trussness value.
+func TrussnessHistogram(tau []int32) map[int32]int64 {
+	hist := make(map[int32]int64)
+	for _, t := range tau {
+		hist[t]++
+	}
+	return hist
+}

@@ -1,0 +1,53 @@
+package truss
+
+import (
+	"testing"
+
+	"equitruss/internal/gen"
+)
+
+func TestMaximalKTruss(t *testing.T) {
+	g := gen.SharedEdgeCliquePair(6, 4) // K6 + K4 sharing an edge
+	tau := serialTau(g)
+
+	// k=6: exactly the K6 (15 edges).
+	t6, err := MaximalKTruss(g, tau, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t6.NumEdges() != 15 {
+		t.Fatalf("6-truss edges = %d, want 15", t6.NumEdges())
+	}
+	// Every edge of the k-truss must have support >= k-2 inside it.
+	for e := int32(0); e < int32(t6.NumEdges()); e++ {
+		ed := t6.Edge(e)
+		if s := t6.CommonNeighborCount(ed.U, ed.V); s < 4 {
+			t.Fatalf("edge %v support %d < 4 in 6-truss", ed, s)
+		}
+	}
+	// k=4: both cliques (K4 edges have τ=4).
+	t4, err := MaximalKTruss(g, tau, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t4.NumEdges() != int64(g.NumEdges()) {
+		t.Fatalf("4-truss edges = %d, want all %d", t4.NumEdges(), g.NumEdges())
+	}
+	// k beyond kmax: empty.
+	t9, err := MaximalKTruss(g, tau, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t9.NumEdges() != 0 {
+		t.Fatalf("9-truss edges = %d, want 0", t9.NumEdges())
+	}
+}
+
+func TestTrussnessHistogram(t *testing.T) {
+	g := gen.BridgedCliques(5)
+	tau := serialTau(g)
+	hist := TrussnessHistogram(tau)
+	if hist[5] != 20 || hist[2] != 1 {
+		t.Fatalf("histogram = %v", hist)
+	}
+}
