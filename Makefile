@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench repro examples clean
+.PHONY: all build test race bench repro examples ci clean
 
 all: build test
 
@@ -14,6 +14,15 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# The gate every change must pass: vet, build, full tests, and the
+# race-detector subset covering the shared-state hot spots (schedulers,
+# connected components).
+ci:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test ./...
+	$(GO) test -race ./internal/concur ./internal/cc
 
 # One benchmark per paper table/figure plus ablations (bench_test.go).
 bench:

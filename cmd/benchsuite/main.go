@@ -14,15 +14,18 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"time"
 
 	"equitruss/internal/concur"
 	"equitruss/internal/gen"
 	"equitruss/internal/graph"
+	"equitruss/internal/obs"
 	"equitruss/internal/triangle"
 	"equitruss/internal/truss"
 )
@@ -74,13 +77,24 @@ func main() {
 	}
 	fmt.Printf("# benchsuite: %d CPUs, GOMAXPROCS=%d, scale=%.2f\n\n",
 		runtime.NumCPU(), runtime.GOMAXPROCS(0), cfg.scale)
+	art := benchArtifact{
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      cfg.scale,
+		MaxThreads: cfg.maxThr,
+	}
 	ran := false
 	for _, e := range experiments {
 		if *expID == "all" || *expID == e.id {
 			fmt.Printf("== %s ==\n", e.title)
 			start := time.Now()
 			e.run(cfg)
-			fmt.Printf("(experiment wall time: %v)\n\n", time.Since(start).Round(time.Millisecond))
+			wall := time.Since(start)
+			fmt.Printf("(experiment wall time: %v)\n\n", wall.Round(time.Millisecond))
+			art.Experiments = append(art.Experiments, experimentResult{
+				ID: e.id, Title: e.title, Seconds: wall.Seconds(),
+			})
 			ran = true
 		}
 	}
@@ -88,6 +102,55 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchsuite: unknown experiment %q (use -list)\n", *expID)
 		os.Exit(2)
 	}
+	art.Counters = obs.DefaultRegistry().Snapshot()
+	if path, err := writeArtifact(*outDir, art); err != nil {
+		fmt.Fprintf(os.Stderr, "benchsuite: artifact: %v\n", err)
+		os.Exit(1)
+	} else {
+		fmt.Printf("# artifact written to %s\n", path)
+	}
+}
+
+// benchArtifact is the machine-readable record of one benchsuite run,
+// written as BENCH_<timestamp>.json so perf trajectories can be compared
+// across commits without scraping stdout.
+type benchArtifact struct {
+	Timestamp   string             `json:"timestamp"`
+	CPUs        int                `json:"cpus"`
+	GOMAXPROCS  int                `json:"gomaxprocs"`
+	Scale       float64            `json:"scale"`
+	MaxThreads  int                `json:"max_threads"`
+	Experiments []experimentResult `json:"experiments"`
+	Counters    []obs.CounterValue `json:"counters,omitempty"`
+}
+
+type experimentResult struct {
+	ID      string  `json:"id"`
+	Title   string  `json:"title"`
+	Seconds float64 `json:"seconds"`
+}
+
+// writeArtifact writes the artifact into dir (cwd when empty) and returns
+// the path.
+func writeArtifact(dir string, art benchArtifact) (string, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return "", err
+		}
+	}
+	name := "BENCH_" + time.Now().UTC().Format("20060102T150405Z") + ".json"
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(art); err != nil {
+		f.Close()
+		return "", err
+	}
+	return path, f.Close()
 }
 
 // --- shared helpers ---------------------------------------------------------

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -100,6 +101,7 @@ func runBuild(args []string) error {
 	variantName := fs.String("variant", "afforest", "serial|baseline|coptimal|afforest")
 	threads := fs.Int("threads", 0, "threads (0 = all cores)")
 	out := fs.String("out", "", "write binary index to this path")
+	obsf := addObsFlags(fs)
 	fs.Parse(args)
 	if *graphSpec == "" {
 		return fmt.Errorf("-graph is required")
@@ -113,7 +115,11 @@ func runBuild(args []string) error {
 		return err
 	}
 	fmt.Printf("graph: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
-	sg, tm, err := equitruss.BuildSummary(g, equitruss.Options{Variant: variant, Threads: *threads})
+	tr, err := obsf.begin()
+	if err != nil {
+		return err
+	}
+	sg, tm, err := equitruss.BuildSummary(g, equitruss.Options{Variant: variant, Threads: *threads, Tracer: tr})
 	if err != nil {
 		return err
 	}
@@ -121,6 +127,9 @@ func runBuild(args []string) error {
 	fmt.Printf("kernels: Support=%v TrussDecomp=%v Init=%v SpNode=%v SpEdge=%v SmGraph=%v Remap=%v\n",
 		tm.Support, tm.TrussDecomp, tm.Init, tm.SpNode, tm.SpEdge, tm.SmGraph, tm.SpNodeRemap)
 	fmt.Printf("total: %v (index construction: %v)\n", tm.Total(), tm.IndexTotal())
+	if err := obsf.finish(); err != nil {
+		return err
+	}
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
@@ -196,6 +205,8 @@ func runStats(args []string) error {
 	graphSpec := fs.String("graph", "", "edge-list path or dataset:<name>[:<factor>]")
 	variantName := fs.String("variant", "afforest", "variant")
 	threads := fs.Int("threads", 0, "threads (0 = all cores)")
+	jsonOut := fs.Bool("json", false, "emit one machine-readable JSON document instead of text")
+	obsf := addObsFlags(fs)
 	fs.Parse(args)
 	if *graphSpec == "" {
 		return fmt.Errorf("-graph is required")
@@ -208,11 +219,48 @@ func runStats(args []string) error {
 	if err != nil {
 		return err
 	}
-	tau := equitruss.Trussness(g, *threads)
+	tr, err := obsf.begin()
+	if err != nil {
+		return err
+	}
+	// The full pipeline runs once; Trussness is not called separately so the
+	// counters and spans describe exactly one build.
+	sg, tm, err := equitruss.BuildSummary(g, equitruss.Options{Variant: variant, Threads: *threads, Tracer: tr})
+	if err != nil {
+		return err
+	}
+	tau := sg.Tau
 	kmax := truss.KMax(tau)
-	hist := map[int32]int64{}
-	for _, k := range tau {
-		hist[k]++
+	hist := equitruss.TrussnessHistogram(tau)
+	if *jsonOut {
+		// Reuse the obs report as the timing/counter section; synthesize it
+		// from Timings when the run was untraced so wall times still appear.
+		rep := equitruss.TraceReport(tr)
+		if tr == nil {
+			syn := equitruss.NewTracer()
+			tm.EmitSpans(syn)
+			rep = equitruss.TraceReport(syn)
+		}
+		doc := statsDoc{
+			Graph: graphDoc{
+				Vertices:  int64(g.NumVertices()),
+				Edges:     int64(g.NumEdges()),
+				MaxDegree: int64(g.MaxDegree()),
+			},
+			Variant:        fmt.Sprintf("%v", variant),
+			Threads:        tm.Threads,
+			KMax:           kmax,
+			TrussHistogram: histToDoc(hist),
+			Index:          sg.ComputeStats(),
+			TotalSeconds:   tm.Total().Seconds(),
+			Report:         rep,
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			return err
+		}
+		return obsf.finish()
 	}
 	fmt.Printf("graph: %d vertices, %d edges, max degree %d\n", g.NumVertices(), g.NumEdges(), g.MaxDegree())
 	fmt.Printf("kmax: %d\n", kmax)
@@ -225,14 +273,48 @@ func runStats(args []string) error {
 	for _, k := range keys {
 		fmt.Printf("  τ=%-3d %d edges\n", k, hist[k])
 	}
-	sg, tm, err := equitruss.BuildSummary(g, equitruss.Options{Variant: variant, Threads: *threads})
-	if err != nil {
-		return err
-	}
 	fmt.Printf("index (%v): %d supernodes, %d superedges, built in %v\n",
 		variant, sg.NumSupernodes(), sg.NumSuperedges(), tm.Total())
 	fmt.Printf("kernel breakdown: %s\n", tm.Breakdown())
-	return nil
+	return obsf.finish()
+}
+
+// statsDoc is the machine-readable output of `equitruss stats -json`.
+type statsDoc struct {
+	Graph          graphDoc               `json:"graph"`
+	Variant        string                 `json:"variant"`
+	Threads        int                    `json:"threads"`
+	KMax           int32                  `json:"kmax"`
+	TrussHistogram []histBucket           `json:"truss_histogram"`
+	Index          equitruss.Stats        `json:"index"`
+	TotalSeconds   float64                `json:"total_seconds"`
+	Report         *equitruss.BuildReport `json:"report"`
+}
+
+type graphDoc struct {
+	Vertices  int64 `json:"vertices"`
+	Edges     int64 `json:"edges"`
+	MaxDegree int64 `json:"max_degree"`
+}
+
+type histBucket struct {
+	K     int32 `json:"k"`
+	Edges int64 `json:"edges"`
+}
+
+// histToDoc flattens the histogram map into a k-sorted list so the JSON is
+// deterministic.
+func histToDoc(hist map[int32]int64) []histBucket {
+	keys := make([]int32, 0, len(hist))
+	for k := range hist {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([]histBucket, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, histBucket{K: k, Edges: hist[k]})
+	}
+	return out
 }
 
 // runExport writes Graphviz DOT renderings: the supergraph ("summary") or

@@ -1,8 +1,11 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"equitruss"
@@ -142,4 +145,137 @@ func TestRunExport(t *testing.T) {
 	if err := runExport([]string{}); err == nil {
 		t.Fatal("missing -graph accepted")
 	}
+}
+
+func TestRunBuildObservabilityFlags(t *testing.T) {
+	dir := t.TempDir()
+	gpath := filepath.Join(dir, "g.txt")
+	content := ""
+	for u := 0; u < 6; u++ {
+		for v := u + 1; v < 6; v++ {
+			content += itoa(u) + " " + itoa(v) + "\n"
+		}
+	}
+	if err := os.WriteFile(gpath, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tpath := filepath.Join(dir, "trace.json")
+	ppath := filepath.Join(dir, "cpu.out")
+	err := runBuild([]string{"-graph", gpath, "-variant", "afforest",
+		"-trace", tpath, "-counters", "-pprof", ppath})
+	if err != nil {
+		t.Fatalf("traced build: %v", err)
+	}
+	raw, err := os.ReadFile(tpath)
+	if err != nil {
+		t.Fatalf("trace not written: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			PID  int    `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	kernels := map[string]bool{}
+	threadSpans := 0
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "X" {
+			continue
+		}
+		if e.PID == 1 {
+			kernels[e.Name] = true
+		} else {
+			threadSpans++
+		}
+	}
+	for _, k := range []string{"Support", "TrussDecomp", "SpNode", "SpEdge", "SmGraph"} {
+		if !kernels[k] {
+			t.Errorf("trace lacks pipeline span for %s", k)
+		}
+	}
+	if threadSpans == 0 {
+		t.Error("trace lacks per-thread spans")
+	}
+	if fi, err := os.Stat(ppath); err != nil || fi.Size() == 0 {
+		t.Fatalf("cpu profile not written: %v", err)
+	}
+}
+
+func TestRunStatsJSON(t *testing.T) {
+	dir := t.TempDir()
+	gpath := filepath.Join(dir, "g.txt")
+	content := ""
+	for u := 0; u < 5; u++ {
+		for v := u + 1; v < 5; v++ {
+			content += itoa(u) + " " + itoa(v) + "\n"
+		}
+	}
+	if err := os.WriteFile(gpath, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := captureStdout(t, func() {
+		tpath := filepath.Join(dir, "t.json")
+		if err := runStats([]string{"-graph", gpath, "-json", "-trace", tpath}); err != nil {
+			t.Errorf("stats -json: %v", err)
+		}
+	})
+	// Everything before the trailing trace confirmation must be one JSON doc.
+	dec := json.NewDecoder(strings.NewReader(out))
+	var doc struct {
+		Graph struct {
+			Vertices int64 `json:"vertices"`
+			Edges    int64 `json:"edges"`
+		} `json:"graph"`
+		KMax           int32 `json:"kmax"`
+		TrussHistogram []struct {
+			K     int32 `json:"k"`
+			Edges int64 `json:"edges"`
+		} `json:"truss_histogram"`
+		Report struct {
+			Kernels []struct {
+				Name string `json:"name"`
+			} `json:"kernels"`
+		} `json:"report"`
+	}
+	if err := dec.Decode(&doc); err != nil {
+		t.Fatalf("stats -json output is not JSON: %v\n%s", err, out)
+	}
+	if doc.Graph.Vertices != 5 || doc.Graph.Edges != 10 {
+		t.Fatalf("graph doc = %+v", doc.Graph)
+	}
+	if doc.KMax != 5 {
+		t.Fatalf("kmax = %d, want 5 (5-clique)", doc.KMax)
+	}
+	if len(doc.TrussHistogram) == 0 || len(doc.Report.Kernels) == 0 {
+		t.Fatalf("histogram/report empty: %+v", doc)
+	}
+}
+
+// captureStdout runs f with os.Stdout redirected into a pipe and returns
+// what it printed.
+func captureStdout(t *testing.T, f func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var b strings.Builder
+		io.Copy(&b, r)
+		done <- b.String()
+	}()
+	defer func() {
+		os.Stdout = old
+	}()
+	f()
+	w.Close()
+	os.Stdout = old
+	return <-done
 }

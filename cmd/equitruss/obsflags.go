@@ -1,0 +1,84 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime/pprof"
+
+	"equitruss"
+)
+
+// obsFlags bundles the observability flags shared by the build and stats
+// subcommands: -trace writes a Chrome trace-event JSON file of the run,
+// -counters prints the process counter registry afterwards, and -pprof
+// captures a CPU profile around the build.
+type obsFlags struct {
+	tracePath *string
+	counters  *bool
+	pprofPath *string
+	tr        *equitruss.Tracer
+	pprofFile *os.File
+}
+
+func addObsFlags(fs *flag.FlagSet) *obsFlags {
+	return &obsFlags{
+		tracePath: fs.String("trace", "", "write Chrome trace-event JSON here (open in chrome://tracing or Perfetto)"),
+		counters:  fs.Bool("counters", false, "print the process counter registry after the run"),
+		pprofPath: fs.String("pprof", "", "write a CPU profile of the run here"),
+	}
+}
+
+// begin starts the CPU profile if requested and returns the tracer for the
+// run — nil when -trace is unset, so an untraced run pays nothing.
+func (o *obsFlags) begin() (*equitruss.Tracer, error) {
+	if *o.tracePath != "" {
+		o.tr = equitruss.NewTracer()
+	}
+	if *o.pprofPath != "" {
+		f, err := os.Create(*o.pprofPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		o.pprofFile = f
+	}
+	return o.tr, nil
+}
+
+// finish stops the profile, writes the trace file, and prints the
+// per-kernel report and the counter registry as requested.
+func (o *obsFlags) finish() error {
+	if o.pprofFile != nil {
+		pprof.StopCPUProfile()
+		if err := o.pprofFile.Close(); err != nil {
+			return err
+		}
+		o.pprofFile = nil
+		fmt.Printf("cpu profile written to %s\n", *o.pprofPath)
+	}
+	if o.tr != nil {
+		f, err := os.Create(*o.tracePath)
+		if err != nil {
+			return err
+		}
+		if err := equitruss.WriteTrace(f, o.tr); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace (%d spans) written to %s\n", o.tr.Len(), *o.tracePath)
+		fmt.Print(equitruss.TraceReport(o.tr).String())
+	}
+	if *o.counters {
+		for _, c := range equitruss.Counters() {
+			fmt.Printf("counter %-36s %d\n", c.Name, c.Value)
+		}
+	}
+	return nil
+}

@@ -32,6 +32,7 @@ import (
 	"equitruss/internal/graph"
 	"equitruss/internal/graphio"
 	"equitruss/internal/metrics"
+	"equitruss/internal/obs"
 	"equitruss/internal/triangle"
 	"equitruss/internal/truss"
 )
@@ -64,6 +65,20 @@ const (
 	Afforest = core.VariantAfforest // sampling-based CC construction
 )
 
+// Tracer collects pipeline and per-thread spans during a build. A nil
+// *Tracer disables tracing at zero cost — the instrumented kernels never
+// read the clock or allocate. Pass one via Options.Tracer, then export with
+// WriteTrace (Chrome trace-event JSON) or WriteMetrics (Prometheus text).
+type Tracer = obs.Trace
+
+// NewTracer returns an enabled span collector for Options.Tracer.
+func NewTracer() *Tracer { return obs.NewTrace() }
+
+// BuildReport aggregates a build's spans and counters into per-kernel wall
+// times, per-thread busy times, and load-imbalance ratios (max/mean thread
+// busy time per kernel).
+type BuildReport = obs.Report
+
 // Options configures BuildIndex.
 type Options struct {
 	// Variant selects the construction algorithm. The zero value is
@@ -75,6 +90,10 @@ type Options struct {
 	// SerialTruss forces the sequential peeling decomposition even for
 	// parallel variants (the parallel peeling is the default for them).
 	SerialTruss bool
+	// Tracer, when non-nil, records one pipeline span per kernel and
+	// per-thread spans inside every parallel kernel. Nil disables tracing
+	// with no overhead.
+	Tracer *Tracer
 }
 
 // Index is the query-ready EquiTruss index: the summary graph plus the
@@ -82,6 +101,49 @@ type Options struct {
 type Index struct {
 	*community.Index
 	Timings Timings
+	// Trace is the tracer the index was built with (nil when none was set).
+	Trace *Tracer
+}
+
+// BuildReport aggregates the build's trace and the process counter
+// registry into per-kernel statistics. When the build ran without a
+// tracer, a pipeline-only trace is synthesized from Timings, so wall times
+// are present but per-thread rows and imbalance ratios are not.
+func (ix *Index) BuildReport() *BuildReport {
+	tr := ix.Trace
+	if tr == nil {
+		tr = obs.NewTrace()
+		ix.Timings.EmitSpans(tr)
+	}
+	return obs.NewReport(tr, obs.DefaultRegistry())
+}
+
+// TraceReport aggregates a tracer's spans and the process counter registry
+// into a BuildReport, for builds driven through BuildSummary (which returns
+// no Index to call BuildReport on).
+func TraceReport(tr *Tracer) *BuildReport {
+	return obs.NewReport(tr, obs.DefaultRegistry())
+}
+
+// CounterValue is one named counter's value in a registry snapshot.
+type CounterValue = obs.CounterValue
+
+// Counters snapshots the process-wide counter registry (sorted by name).
+func Counters() []CounterValue { return obs.DefaultRegistry().Snapshot() }
+
+// ResetCounters zeroes every registered counter — call between runs when
+// per-run counter deltas are wanted (e.g. benchmark harnesses).
+func ResetCounters() { obs.DefaultRegistry().Reset() }
+
+// WriteTrace writes the tracer's spans as Chrome trace-event JSON, loadable
+// in chrome://tracing or Perfetto.
+func WriteTrace(w io.Writer, tr *Tracer) error { return obs.WriteChromeTrace(w, tr) }
+
+// WriteMetrics writes the process counter registry and the tracer's
+// per-kernel aggregates (tr may be nil for counters only) in Prometheus
+// text exposition format.
+func WriteMetrics(w io.Writer, tr *Tracer) error {
+	return obs.WritePrometheus(w, obs.DefaultRegistry(), tr)
 }
 
 // NewGraph builds a graph from an edge list. Self-loops and duplicate
@@ -143,7 +205,7 @@ func BuildIndex(g *Graph, opt Options) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Index{Index: community.NewIndex(g, sg), Timings: tm}, nil
+	return &Index{Index: community.NewIndex(g, sg), Timings: tm, Trace: opt.Tracer}, nil
 }
 
 // BuildSummary runs the same pipeline but returns only the summary graph
@@ -161,20 +223,25 @@ func buildSummary(g *Graph, opt Options) (*SummaryGraph, Timings, error) {
 	if opt.Variant == Serial {
 		threads = 1
 	}
+	tr := opt.Tracer
+	span := tr.Start("Support")
 	start := time.Now()
-	sup := triangle.Supports(g, threads)
+	sup := triangle.SupportsT(g, threads, tr)
 	supportTime := time.Since(start)
+	span.End()
 
+	span = tr.Start("TrussDecomp")
 	start = time.Now()
 	var tau []int32
 	if opt.Variant == Serial || opt.SerialTruss || threads == 1 {
 		tau, _ = truss.DecomposeSerial(g, sup)
 	} else {
-		tau, _ = truss.DecomposeParallel(g, sup, threads)
+		tau, _ = truss.DecomposeParallelT(g, sup, threads, tr)
 	}
 	trussTime := time.Since(start)
+	span.End()
 
-	sg, tm := core.Build(g, tau, opt.Variant, threads)
+	sg, tm := core.BuildTraced(g, tau, opt.Variant, threads, tr)
 	tm.Support = supportTime
 	tm.TrussDecomp = trussTime
 	return sg, tm, nil

@@ -2,7 +2,9 @@ package equitruss_test
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
+	"strings"
 	"testing"
 
 	"equitruss"
@@ -252,5 +254,119 @@ func TestAllCommunitiesPublic(t *testing.T) {
 	profile := idx.CommunityCount()
 	if profile[3] != len(all) {
 		t.Fatalf("profile[3] = %d, want %d", profile[3], len(all))
+	}
+}
+
+func TestTracedBuildEmitsSpans(t *testing.T) {
+	g, err := equitruss.GenerateDataset("amazon-sim", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := equitruss.NewTracer()
+	idx, err := equitruss.BuildIndex(g, equitruss.Options{Variant: equitruss.Afforest, Threads: 4, Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Trace != tr {
+		t.Fatal("index did not keep its tracer")
+	}
+	rep := idx.BuildReport()
+	// One pipeline-level span per kernel of the Afforest pipeline.
+	for _, name := range []string{"Support", "TrussDecomp", "Init", "SpNode", "SpEdge", "SmGraph"} {
+		k := rep.Kernel(name)
+		if k == nil {
+			t.Fatalf("kernel %s missing from report", name)
+		}
+		if k.Wall <= 0 {
+			t.Fatalf("kernel %s has no pipeline wall time", name)
+		}
+	}
+	// Every parallel kernel recorded at least one per-thread span.
+	for _, name := range []string{"Support", "TrussDecomp", "SpNode", "SpEdge", "SmGraph"} {
+		k := rep.Kernel(name)
+		if len(k.Threads) == 0 {
+			t.Fatalf("kernel %s has no per-thread spans", name)
+		}
+		if k.Imbalance < 1.0 {
+			t.Fatalf("kernel %s imbalance %f < 1", name, k.Imbalance)
+		}
+	}
+	// The dynamic Support scheduler accounts for every edge exactly once.
+	if got := rep.Kernel("Support").Items; got != int64(g.NumEdges()) {
+		t.Fatalf("Support items = %d, want %d", got, g.NumEdges())
+	}
+
+	// The Chrome trace export must be valid JSON with the expected events.
+	var buf bytes.Buffer
+	if err := equitruss.WriteTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) < 8 {
+		t.Fatalf("only %d trace events", len(doc.TraceEvents))
+	}
+
+	// And the Prometheus exposition must carry kernel gauges and counters.
+	buf.Reset()
+	if err := equitruss.WriteMetrics(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"equitruss_kernel_seconds", "equitruss_kernel_imbalance_ratio", "_total"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBuildReportWithoutTracer(t *testing.T) {
+	g, err := equitruss.GenerateDataset("amazon-sim", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := equitruss.BuildIndex(g, equitruss.Options{Variant: equitruss.COptimal, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := idx.BuildReport()
+	// Synthesized from Timings: wall times present, no per-thread rows.
+	k := rep.Kernel("SpNode")
+	if k == nil || k.Wall <= 0 {
+		t.Fatalf("synthesized report lacks SpNode wall time: %+v", k)
+	}
+	if len(k.Threads) != 0 {
+		t.Fatal("untraced build should have no per-thread stats")
+	}
+}
+
+func TestCountersAccumulate(t *testing.T) {
+	equitruss.ResetCounters()
+	g, err := equitruss.GenerateDataset("amazon-sim", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := equitruss.BuildIndex(g, equitruss.Options{Variant: equitruss.Afforest, Threads: 2}); err != nil {
+		t.Fatal(err)
+	}
+	vals := map[string]int64{}
+	for _, c := range equitruss.Counters() {
+		vals[c.Name] = c.Value
+	}
+	// The Afforest pipeline must have moved these counters off zero.
+	for _, name := range []string{
+		"truss_peel_levels", "truss_support_decrements",
+		"spnode_afforest_sample_total", "spedge_emitted", "smgraph_superedges_final",
+	} {
+		if vals[name] <= 0 {
+			t.Fatalf("counter %s = %d after an Afforest build\nall: %v", name, vals[name], vals)
+		}
 	}
 }

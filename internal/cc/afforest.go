@@ -4,6 +4,7 @@ import (
 	"equitruss/internal/concur"
 	"equitruss/internal/ds"
 	"equitruss/internal/graph"
+	"equitruss/internal/obs"
 )
 
 // afforestNeighborRounds is the number of bounded link rounds before
@@ -20,12 +21,19 @@ const afforestSampleSize = 1024
 // component by sampling, (3) exhaustively process only vertices outside it.
 // Exact because the relation is symmetric and the final pass covers every
 // edge with at least one endpoint outside the dominant component.
+// AfforestT is the traced form.
 func Afforest(g *graph.Graph, threads int) []int32 {
+	return AfforestT(g, threads, nil)
+}
+
+// AfforestT is Afforest with per-thread "CC.Afforest" spans emitted into tr
+// plus sampling-accuracy and union-find CAS-retry counters.
+func AfforestT(g *graph.Graph, threads int, tr *obs.Trace) []int32 {
 	n := int(g.NumVertices())
 	cuf := ds.NewConcurrentUnionFind(n)
 	// Phase 1: bounded neighbor rounds.
 	for r := 0; r < afforestNeighborRounds; r++ {
-		concur.ForRangeDynamic(n, threads, 1024, func(lo, hi int) {
+		concur.ForRangeDynamicT(tr, "CC.Afforest", n, threads, 1024, func(lo, hi int) {
 			for v := lo; v < hi; v++ {
 				nbrs := g.Neighbors(int32(v))
 				if r < len(nbrs) {
@@ -33,7 +41,7 @@ func Afforest(g *graph.Graph, threads int) []int32 {
 				}
 			}
 		})
-		concur.For(n, threads, func(i int) { cuf.Find(int32(i)) })
+		concur.ForT(tr, "CC.Afforest", n, threads, func(i int) { cuf.Find(int32(i)) })
 	}
 	// Phase 2: sample for the dominant component.
 	dominant := int32(-1)
@@ -43,8 +51,10 @@ func Afforest(g *graph.Graph, threads int) []int32 {
 		if stride < 1 {
 			stride = 1
 		}
+		sampled := 0
 		for v := 0; v < n; v += stride {
 			counts[cuf.Find(int32(v))]++
+			sampled++
 		}
 		best := 0
 		for root, c := range counts {
@@ -52,10 +62,12 @@ func Afforest(g *graph.Graph, threads int) []int32 {
 				dominant, best = root, c
 			}
 		}
+		cAffSampleTotal.Add(int64(sampled))
+		cAffSampleHits.Add(int64(best))
 	}
 	// Phase 3: finalize everything outside the dominant component,
 	// starting from the round the bounded phase stopped at.
-	concur.ForRangeDynamic(n, threads, 1024, func(lo, hi int) {
+	concur.ForRangeDynamicT(tr, "CC.Afforest", n, threads, 1024, func(lo, hi int) {
 		for v := lo; v < hi; v++ {
 			if cuf.Find(int32(v)) == dominant {
 				continue
@@ -66,8 +78,9 @@ func Afforest(g *graph.Graph, threads int) []int32 {
 			}
 		}
 	})
-	concur.For(n, threads, func(i int) { cuf.Find(int32(i)) })
+	concur.ForT(tr, "CC.Afforest", n, threads, func(i int) { cuf.Find(int32(i)) })
 	labels := make([]int32, n)
-	concur.For(n, threads, func(i int) { labels[i] = cuf.Find(int32(i)) })
+	concur.ForT(tr, "CC.Afforest", n, threads, func(i int) { labels[i] = cuf.Find(int32(i)) })
+	cUFRetries.Add(cuf.Retries())
 	return labels
 }

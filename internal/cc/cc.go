@@ -18,6 +18,24 @@ import (
 	"equitruss/internal/concur"
 	"equitruss/internal/ds"
 	"equitruss/internal/graph"
+	"equitruss/internal/obs"
+)
+
+// Counters for the vertex-CC algorithms. The SV round counters mirror the
+// spnode_sv_* counters the supernode kernel emits over edge entities;
+// unionfind_cas_retries is shared with internal/core (the registry is
+// idempotent, so both packages resolve to the same counter).
+var (
+	cSVHookRounds = obs.GetCounter("cc_sv_hook_rounds",
+		"hooking rounds executed by Shiloach-Vishkin vertex CC")
+	cSVShortcutRounds = obs.GetCounter("cc_sv_shortcut_rounds",
+		"shortcut (pointer-jumping) rounds executed by Shiloach-Vishkin vertex CC")
+	cAffSampleHits = obs.GetCounter("cc_afforest_sample_hits",
+		"sampled vertices found in the dominant component by Afforest vertex CC")
+	cAffSampleTotal = obs.GetCounter("cc_afforest_sample_total",
+		"vertices sampled by Afforest vertex CC to estimate the dominant component")
+	cUFRetries = obs.GetCounter("unionfind_cas_retries",
+		"failed CAS attempts retried inside concurrent union-find hooks")
 )
 
 // Reference computes components with an iterative depth-first search —
@@ -52,8 +70,14 @@ func Reference(g *graph.Graph) []int32 {
 // ShiloachVishkin runs the classic CRCW SV algorithm: alternating hooking
 // (roots adopt smaller-labelled neighbors' parents) and shortcutting
 // (pointer jumping) until no hook fires. Labels converge to the minimum
-// vertex ID of each component.
+// vertex ID of each component. ShiloachVishkinT is the traced form.
 func ShiloachVishkin(g *graph.Graph, threads int) []int32 {
+	return ShiloachVishkinT(g, threads, nil)
+}
+
+// ShiloachVishkinT is ShiloachVishkin with per-thread "CC.SV" spans emitted
+// into tr and round counters accumulated into the registry.
+func ShiloachVishkinT(g *graph.Graph, threads int, tr *obs.Trace) []int32 {
 	n := int(g.NumVertices())
 	parent := make([]int32, n)
 	for i := range parent {
@@ -64,7 +88,8 @@ func ShiloachVishkin(g *graph.Graph, threads int) []int32 {
 		hooked = 0
 		// Hooking phase: for every edge (u, v), try to hook the root of
 		// the larger parent under the smaller one.
-		concur.ForRange(n, threads, func(lo, hi int) {
+		cSVHookRounds.Inc()
+		concur.ForRangeT(tr, "CC.SV", n, threads, func(lo, hi int) {
 			localHook := false
 			for u := lo; u < hi; u++ {
 				pu := atomic.LoadInt32(&parent[u])
@@ -83,7 +108,8 @@ func ShiloachVishkin(g *graph.Graph, threads int) []int32 {
 		})
 		// Shortcut phase: pointer jumping until every vertex points at a
 		// root.
-		concur.ForRange(n, threads, func(lo, hi int) {
+		cSVShortcutRounds.Inc()
+		concur.ForRangeT(tr, "CC.SV", n, threads, func(lo, hi int) {
 			for v := lo; v < hi; v++ {
 				for {
 					p := atomic.LoadInt32(&parent[v])

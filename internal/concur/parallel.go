@@ -10,8 +10,6 @@ package concur
 
 import (
 	"runtime"
-	"sync"
-	"sync/atomic"
 )
 
 // MaxThreads returns the default parallelism for the pipeline: the number of
@@ -39,65 +37,27 @@ func clampThreads(threads, n int) int {
 // For runs body(i) for every i in [0, n) using the given number of threads
 // with a static block distribution, like "omp parallel for schedule(static)".
 // threads <= 0 selects MaxThreads(). The call returns when all iterations
-// complete.
+// complete. ForT is the traced form.
 func For(n, threads int, body func(i int)) {
-	if n <= 0 {
-		return
-	}
-	threads = clampThreads(threads, n)
-	if threads == 1 {
-		for i := 0; i < n; i++ {
-			body(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	wg.Add(threads)
-	for t := 0; t < threads; t++ {
-		lo := t * n / threads
-		hi := (t + 1) * n / threads
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				body(i)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+	ForT(nil, "", n, threads, body)
 }
 
 // ForRange runs body(lo, hi) on contiguous blocks partitioning [0, n) — one
 // block per thread. This is the cheapest scheduler: a single goroutine per
 // thread and no per-iteration closure call. Use it when the body wants to
 // iterate over its block itself (e.g. to keep loop-carried locals).
+// ForRangeT is the traced form.
 func ForRange(n, threads int, body func(lo, hi int)) {
-	if n <= 0 {
-		return
-	}
-	threads = clampThreads(threads, n)
-	if threads == 1 {
-		body(0, n)
-		return
-	}
-	var wg sync.WaitGroup
-	wg.Add(threads)
-	for t := 0; t < threads; t++ {
-		lo := t * n / threads
-		hi := (t + 1) * n / threads
-		go func(lo, hi int) {
-			defer wg.Done()
-			body(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	ForRangeT(nil, "", n, threads, body)
 }
 
 // ForDynamic runs body(i) for every i in [0, n) using dynamic chunked
 // scheduling, like "omp parallel for schedule(dynamic, grain)". It is the
 // right scheduler for skewed per-iteration work (e.g. per-edge triangle
 // intersection on power-law graphs). grain <= 0 selects a heuristic chunk.
+// ForDynamicT is the traced form.
 func ForDynamic(n, threads, grain int, body func(i int)) {
-	ForRangeDynamic(n, threads, grain, func(lo, hi int) {
+	ForRangeDynamicT(nil, "", n, threads, grain, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			body(i)
 		}
@@ -106,63 +66,16 @@ func ForDynamic(n, threads, grain int, body func(i int)) {
 
 // ForRangeDynamic is the block form of ForDynamic: workers repeatedly claim
 // half-open chunks [lo, hi) from a shared atomic cursor until the iteration
-// space is exhausted.
+// space is exhausted. ForRangeDynamicT is the traced form.
 func ForRangeDynamic(n, threads, grain int, body func(lo, hi int)) {
-	if n <= 0 {
-		return
-	}
-	threads = clampThreads(threads, n)
-	if grain <= 0 {
-		grain = n / (threads * 8)
-		if grain < 64 {
-			grain = 64
-		}
-	}
-	if threads == 1 {
-		body(0, n)
-		return
-	}
-	var cursor atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(threads)
-	for t := 0; t < threads; t++ {
-		go func() {
-			defer wg.Done()
-			for {
-				lo := int(cursor.Add(int64(grain))) - grain
-				if lo >= n {
-					return
-				}
-				hi := lo + grain
-				if hi > n {
-					hi = n
-				}
-				body(lo, hi)
-			}
-		}()
-	}
-	wg.Wait()
+	ForRangeDynamicT(nil, "", n, threads, grain, body)
 }
 
 // ForThreads runs body(tid) once per thread id in [0, threads), like an
 // "omp parallel" region where each thread handles its own slice of work.
+// ForThreadsT is the traced form.
 func ForThreads(threads int, body func(tid int)) {
-	if threads <= 0 {
-		threads = MaxThreads()
-	}
-	if threads == 1 {
-		body(0)
-		return
-	}
-	var wg sync.WaitGroup
-	wg.Add(threads)
-	for t := 0; t < threads; t++ {
-		go func(t int) {
-			defer wg.Done()
-			body(t)
-		}(t)
-	}
-	wg.Wait()
+	ForThreadsT(nil, "", threads, body)
 }
 
 // ReduceInt64 computes the sum of body(i) over i in [0, n) in parallel,

@@ -1,0 +1,99 @@
+package concur
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"equitruss/internal/obs"
+)
+
+// The stress tests below are primarily race-detector fodder (`make ci` runs
+// this package under -race): every scheduler variant hammers shared state —
+// an atomic sum, shared obs counters, and an enabled tracer — from all
+// workers at once, which is exactly the access pattern the pipeline kernels
+// rely on being safe.
+
+func TestStressStaticSchedulersShared(t *testing.T) {
+	const n = 100_000
+	tr := obs.NewTrace()
+	reg := obs.NewRegistry()
+	c := reg.Counter("stress_static", "")
+	for rounds := 0; rounds < 4; rounds++ {
+		var sum atomic.Int64
+		ForT(tr, "static", n, 8, func(i int) {
+			sum.Add(int64(i))
+		})
+		ForRangeT(tr, "static", n, 8, func(lo, hi int) {
+			var local int64
+			for i := lo; i < hi; i++ {
+				local++
+			}
+			c.Add(local)
+			sum.Add(local)
+		})
+		want := int64(n)*(n-1)/2 + n
+		if got := sum.Load(); got != want {
+			t.Fatalf("round %d: sum = %d, want %d", rounds, got, want)
+		}
+	}
+	if c.Value() != 4*n {
+		t.Fatalf("counter = %d, want %d", c.Value(), 4*n)
+	}
+	// 8 workers per loop, 2 loops per round, 4 rounds.
+	if tr.Len() != 8*2*4 {
+		t.Fatalf("spans = %d, want %d", tr.Len(), 8*2*4)
+	}
+}
+
+func TestStressDynamicSchedulersShared(t *testing.T) {
+	const n = 100_000
+	tr := obs.NewTrace()
+	reg := obs.NewRegistry()
+	c := reg.Counter("stress_dynamic", "")
+	for rounds := 0; rounds < 4; rounds++ {
+		var sum atomic.Int64
+		ForRangeDynamicT(tr, "dynamic", n, 8, 128, func(lo, hi int) {
+			var local int64
+			for i := lo; i < hi; i++ {
+				local += int64(i)
+			}
+			sum.Add(local)
+			c.Add(int64(hi - lo))
+		})
+		ForDynamicT(tr, "dynamic", n, 8, 256, func(i int) {
+			sum.Add(1)
+		})
+		want := int64(n)*(n-1)/2 + n
+		if got := sum.Load(); got != want {
+			t.Fatalf("round %d: sum = %d, want %d", rounds, got, want)
+		}
+	}
+	if c.Value() != 4*n {
+		t.Fatalf("counter = %d, want %d", c.Value(), 4*n)
+	}
+	// Every dynamic span must carry the iteration count it claimed, and the
+	// per-loop claims must cover the range exactly.
+	var items int64
+	for _, s := range tr.Spans() {
+		items += s.Items
+	}
+	if items != 8*n {
+		t.Fatalf("claimed items = %d, want %d", items, 8*n)
+	}
+}
+
+func TestStressForThreadsShared(t *testing.T) {
+	tr := obs.NewTrace()
+	var sum atomic.Int64
+	for rounds := 0; rounds < 8; rounds++ {
+		ForThreadsT(tr, "threads", 8, func(tid int) {
+			sum.Add(int64(tid))
+		})
+	}
+	if got := sum.Load(); got != 8*28 {
+		t.Fatalf("sum = %d, want %d", got, 8*28)
+	}
+	if tr.Len() != 64 {
+		t.Fatalf("spans = %d, want 64", tr.Len())
+	}
+}

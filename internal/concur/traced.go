@@ -1,0 +1,154 @@
+package concur
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"equitruss/internal/obs"
+)
+
+// Traced scheduler variants: identical scheduling to their plain
+// counterparts, but every worker wraps its whole share of the loop in one
+// per-thread span (obs.Trace.StartThread) recording busy time and the
+// number of iterations it processed. With a nil tracer the span calls are
+// inert — no clock reads, no allocations — so the plain functions simply
+// delegate here with tr == nil.
+
+// ForT is For with per-thread spans named name.
+func ForT(tr *obs.Trace, name string, n, threads int, body func(i int)) {
+	if n <= 0 {
+		return
+	}
+	threads = clampThreads(threads, n)
+	if threads == 1 {
+		r := tr.StartThread(name, 0)
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		r.EndItems(int64(n))
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(threads)
+	for t := 0; t < threads; t++ {
+		lo := t * n / threads
+		hi := (t + 1) * n / threads
+		go func(tid, lo, hi int) {
+			defer wg.Done()
+			r := tr.StartThread(name, tid)
+			for i := lo; i < hi; i++ {
+				body(i)
+			}
+			r.EndItems(int64(hi - lo))
+		}(t, lo, hi)
+	}
+	wg.Wait()
+}
+
+// ForRangeT is ForRange with per-thread spans named name.
+func ForRangeT(tr *obs.Trace, name string, n, threads int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	threads = clampThreads(threads, n)
+	if threads == 1 {
+		r := tr.StartThread(name, 0)
+		body(0, n)
+		r.EndItems(int64(n))
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(threads)
+	for t := 0; t < threads; t++ {
+		lo := t * n / threads
+		hi := (t + 1) * n / threads
+		go func(tid, lo, hi int) {
+			defer wg.Done()
+			r := tr.StartThread(name, tid)
+			body(lo, hi)
+			r.EndItems(int64(hi - lo))
+		}(t, lo, hi)
+	}
+	wg.Wait()
+}
+
+// ForRangeDynamicT is ForRangeDynamic with per-thread spans named name;
+// each worker's span records the total iterations it claimed from the
+// shared cursor, so skew in dynamic scheduling is visible per worker.
+func ForRangeDynamicT(tr *obs.Trace, name string, n, threads, grain int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	threads = clampThreads(threads, n)
+	if grain <= 0 {
+		grain = n / (threads * 8)
+		if grain < 64 {
+			grain = 64
+		}
+	}
+	if threads == 1 {
+		r := tr.StartThread(name, 0)
+		body(0, n)
+		r.EndItems(int64(n))
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(threads)
+	for t := 0; t < threads; t++ {
+		go func(tid int) {
+			defer wg.Done()
+			r := tr.StartThread(name, tid)
+			var items int64
+			for {
+				lo := int(cursor.Add(int64(grain))) - grain
+				if lo >= n {
+					break
+				}
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				body(lo, hi)
+				items += int64(hi - lo)
+			}
+			r.EndItems(items)
+		}(t)
+	}
+	wg.Wait()
+}
+
+// ForDynamicT is ForDynamic with per-thread spans named name.
+func ForDynamicT(tr *obs.Trace, name string, n, threads, grain int, body func(i int)) {
+	ForRangeDynamicT(tr, name, n, threads, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// ForThreadsT is ForThreads with per-thread spans named name. Iteration
+// counts are unknown to the scheduler here (the body owns its own range),
+// so spans carry busy time only.
+func ForThreadsT(tr *obs.Trace, name string, threads int, body func(tid int)) {
+	if threads <= 0 {
+		threads = MaxThreads()
+	}
+	if threads == 1 {
+		r := tr.StartThread(name, 0)
+		body(0)
+		r.End()
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(threads)
+	for t := 0; t < threads; t++ {
+		go func(tid int) {
+			defer wg.Done()
+			r := tr.StartThread(name, tid)
+			body(tid)
+			r.End()
+		}(t)
+	}
+	wg.Wait()
+}

@@ -6,6 +6,7 @@ import (
 
 	"equitruss/internal/concur"
 	"equitruss/internal/graph"
+	"equitruss/internal/obs"
 )
 
 // Variant selects one of the four index-construction implementations
@@ -68,19 +69,29 @@ var AblationVariants = []Variant{VariantLabelProp, VariantBFS}
 // callers that also time Support/TrussDecomp fill those fields themselves
 // (see the pipeline in the public package).
 func Build(g *graph.Graph, tau []int32, variant Variant, threads int) (*SummaryGraph, Timings) {
+	return BuildTraced(g, tau, variant, threads, nil)
+}
+
+// BuildTraced is Build with observability: every kernel emits a
+// pipeline-level span into tr and the parallel kernels additionally emit
+// one span per worker, so per-kernel load imbalance is measurable. A nil
+// tracer records nothing and adds no overhead — Build delegates here.
+func BuildTraced(g *graph.Graph, tau []int32, variant Variant, threads int, tr *obs.Trace) (*SummaryGraph, Timings) {
 	if len(tau) != int(g.NumEdges()) {
 		panic(fmt.Sprintf("core: tau has %d entries for %d edges", len(tau), g.NumEdges()))
 	}
 	if variant == VariantSerial {
-		return BuildSerial(g, tau)
+		return buildSerial(g, tau, tr)
 	}
 	if threads <= 0 {
 		threads = concur.MaxThreads()
 	}
 	var tm Timings
 	tm.Threads = threads
+	tm.Runs = 1
 
 	// Init kernel: Φ_k grouping plus any variant-specific dictionaries.
+	span := tr.Start("Init")
 	start := time.Now()
 	var dict edgeDict
 	var phi [][]int32
@@ -97,43 +108,52 @@ func Build(g *graph.Graph, tau []int32, variant Variant, threads int) (*SummaryG
 		panic("core: unknown variant " + variant.String())
 	}
 	tm.Init = time.Since(start)
+	span.End()
 
 	// SpNode kernel.
+	span = tr.Start("SpNode")
 	start = time.Now()
 	var pi []int32
 	switch variant {
 	case VariantBaseline:
-		pi = spNodeBaseline(g, tau, dict, phi, threads)
+		pi = spNodeBaseline(g, tau, dict, phi, threads, tr)
 	case VariantCOptimal:
-		pi = spNodeCOptimal(g, tau, phi, threads)
+		pi = spNodeCOptimal(g, tau, phi, threads, tr)
 	case VariantAfforest:
-		pi = spNodeAfforest(g, tau, threads)
+		pi = spNodeAfforest(g, tau, threads, tr)
 	case VariantLabelProp:
-		pi = spNodeLabelProp(g, tau, threads)
+		pi = spNodeLabelProp(g, tau, threads, tr)
 	case VariantBFS:
-		pi = spNodeBFS(g, tau, threads)
+		pi = spNodeBFS(g, tau, threads, tr)
 	}
 	tm.SpNode = time.Since(start)
+	span.End()
 
 	// SpEdge kernel.
+	span = tr.Start("SpEdge")
 	start = time.Now()
 	var spEdges [][]uint64
 	if variant == VariantBaseline {
-		spEdges = spEdgeBaseline(g, tau, pi, dict, threads)
+		spEdges = spEdgeBaseline(g, tau, pi, dict, threads, tr)
 	} else {
-		spEdges = spEdgeFlat(g, tau, pi, threads)
+		spEdges = spEdgeFlat(g, tau, pi, threads, tr)
 	}
 	tm.SpEdge = time.Since(start)
+	span.End()
 
 	// SmGraph kernel.
+	span = tr.Start("SmGraph")
 	start = time.Now()
-	pairs := smGraphMerge(spEdges, threads)
+	pairs := smGraphMerge(spEdges, threads, tr)
 	tm.SmGraph = time.Since(start)
+	span.End()
 
 	// SpNodeRemap kernel.
+	span = tr.Start("SpNodeRemap")
 	start = time.Now()
 	sg := remap(g, tau, pi, pairs, threads)
 	tm.SpNodeRemap = time.Since(start)
+	span.End()
 	return sg, tm
 }
 

@@ -1,0 +1,26 @@
+package core
+
+import "equitruss/internal/obs"
+
+// Process-wide counters emitted by the index-construction kernels,
+// registered once at package init so hot paths never touch the registry.
+var (
+	cSVHookRounds = obs.GetCounter("spnode_sv_hook_rounds",
+		"SV hooking rounds executed across all trussness groups in SpNode")
+	cSVShortcutRounds = obs.GetCounter("spnode_sv_shortcut_rounds",
+		"SV shortcut (pointer-jumping) rounds executed in SpNode")
+	cHookCASFailures = obs.GetCounter("spnode_hook_cas_failures",
+		"SV hook CASes lost to concurrent writers in SpNode")
+	cAffSampleHits = obs.GetCounter("spnode_afforest_sample_hits",
+		"sampled edges that landed in the dominant component during Afforest SpNode")
+	cAffSampleTotal = obs.GetCounter("spnode_afforest_sample_total",
+		"edges sampled for dominant-component approximation in Afforest SpNode")
+	cUnionFindRetries = obs.GetCounter("unionfind_cas_retries",
+		"union-find hook CASes retried under contention (Afforest forests)")
+	cSpEdgeEmitted = obs.GetCounter("spedge_emitted",
+		"superedge candidates emitted into thread-local subsets by SpEdge")
+	cSmGraphDeduped = obs.GetCounter("smgraph_superedges_deduped",
+		"duplicate superedge candidates removed by the SmGraph merge")
+	cSmGraphFinal = obs.GetCounter("smgraph_superedges_final",
+		"deduplicated superedges surviving the SmGraph merge")
+)

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"equitruss/internal/graph"
+	"equitruss/internal/obs"
 )
 
 // BuildSerial is a faithful port of Algorithm 1 (the original sequential
@@ -14,11 +15,21 @@ import (
 // pending list; when they are later processed at their own trussness level,
 // each recorded ID becomes a superedge.
 func BuildSerial(g *graph.Graph, tau []int32) (*SummaryGraph, Timings) {
+	return buildSerial(g, tau, nil)
+}
+
+// buildSerial is BuildSerial with pipeline-level spans (the serial builder
+// has no worker threads, so there are no per-thread spans to emit). SpNode
+// and SpEdge are interleaved in Algorithm 1, so they share one span and the
+// SpNode timing bucket.
+func buildSerial(g *graph.Graph, tau []int32, tr *obs.Trace) (*SummaryGraph, Timings) {
 	var tm Timings
 	tm.Threads = 1
+	tm.Runs = 1
 	m := int32(g.NumEdges())
 
 	// Init kernel: group edge IDs into Φ_k sets (ln. 1–5).
+	span := tr.Start("Init")
 	start := time.Now()
 	kmax := int32(MinK - 1)
 	for _, t := range tau {
@@ -33,9 +44,11 @@ func BuildSerial(g *graph.Graph, tau []int32) (*SummaryGraph, Timings) {
 		}
 	}
 	tm.Init = time.Since(start)
+	span.End()
 
 	// SpNode + SpEdge interleaved exactly as Algorithm 1 does: BFS grows a
 	// supernode and superedges materialize when a pending list is drained.
+	span = tr.Start("SpNode")
 	start = time.Now()
 	processed := make([]bool, m)
 	snOf := make([]int32, m)
@@ -85,8 +98,10 @@ func BuildSerial(g *graph.Graph, tau []int32) (*SummaryGraph, Timings) {
 		}
 	}
 	tm.SpNode = time.Since(start)
+	span.End()
 
 	// SmGraph kernel: assemble the CSR summary graph.
+	span = tr.Start("SmGraph")
 	start = time.Now()
 	pairs := make([][2]int32, 0, len(seSet))
 	for p := range seSet {
@@ -94,6 +109,7 @@ func BuildSerial(g *graph.Graph, tau []int32) (*SummaryGraph, Timings) {
 	}
 	sg := assemble(g, tau, snK, snMembers, snOf, pairs)
 	tm.SmGraph = time.Since(start)
+	span.End()
 	return sg, tm
 }
 

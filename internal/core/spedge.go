@@ -2,9 +2,11 @@ package core
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"equitruss/internal/concur"
 	"equitruss/internal/graph"
+	"equitruss/internal/obs"
 )
 
 // packPair packs a canonical (low-root, high-root) superedge into a single
@@ -23,13 +25,13 @@ func unpackPair(p uint64) (a, b int32) { return int32(p >> 32), int32(uint32(p))
 // strictly above the triangle's minimum trussness it emits a superedge from
 // its supernode down to the minimum edge's supernode. Each thread appends
 // to its own subset (ln. 1, 10, 12), avoiding races by construction.
-func spEdgeFlat(g *graph.Graph, tau, pi []int32, threads int) [][]uint64 {
+func spEdgeFlat(g *graph.Graph, tau, pi []int32, threads int, tr *obs.Trace) [][]uint64 {
 	if threads <= 0 {
 		threads = concur.MaxThreads()
 	}
 	m := int(g.NumEdges())
 	spEdges := make([][]uint64, threads)
-	concur.ForThreads(threads, func(tid int) {
+	concur.ForThreadsT(tr, "SpEdge", threads, func(tid int) {
 		lo := tid * m / threads
 		hi := (tid + 1) * m / threads
 		var local []uint64
@@ -54,6 +56,7 @@ func spEdgeFlat(g *graph.Graph, tau, pi []int32, threads int) [][]uint64 {
 			})
 		}
 		spEdges[tid] = local
+		cSpEdgeEmitted.Add(int64(len(local)))
 	})
 	return spEdges
 }
@@ -61,14 +64,14 @@ func spEdgeFlat(g *graph.Graph, tau, pi []int32, threads int) [][]uint64 {
 // spEdgeBaseline is Algorithm 3 with the Baseline variant's dictionary
 // lookups for trussness and edge identity (the same indirection its SpNode
 // pays).
-func spEdgeBaseline(g *graph.Graph, tau, pi []int32, dict edgeDict, threads int) [][]uint64 {
+func spEdgeBaseline(g *graph.Graph, tau, pi []int32, dict edgeDict, threads int, tr *obs.Trace) [][]uint64 {
 	if threads <= 0 {
 		threads = concur.MaxThreads()
 	}
 	m := int(g.NumEdges())
 	edges := g.Edges()
 	spEdges := make([][]uint64, threads)
-	concur.ForThreads(threads, func(tid int) {
+	concur.ForThreadsT(tr, "SpEdge", threads, func(tid int) {
 		lo := tid * m / threads
 		hi := (tid + 1) * m / threads
 		var local []uint64
@@ -106,6 +109,7 @@ func spEdgeBaseline(g *graph.Graph, tau, pi []int32, dict edgeDict, threads int)
 			}
 		}
 		spEdges[tid] = local
+		cSpEdgeEmitted.Add(int64(len(local)))
 	})
 	return spEdges
 }
@@ -114,14 +118,14 @@ func spEdgeBaseline(g *graph.Graph, tau, pi []int32, dict edgeDict, threads int)
 // partitioned to destination threads, each destination sorts and
 // deduplicates its partition, and the partitions are concatenated into the
 // final superedge list via a prefix-summed parallel copy.
-func smGraphMerge(spEdges [][]uint64, threads int) []uint64 {
+func smGraphMerge(spEdges [][]uint64, threads int, tr *obs.Trace) []uint64 {
 	if threads <= 0 {
 		threads = concur.MaxThreads()
 	}
 	nsrc := len(spEdges)
 	// ln. 6–11: each source thread buckets its superedges by destination.
 	partitioned := make([][][]uint64, nsrc)
-	concur.ForThreads(nsrc, func(src int) {
+	concur.ForThreadsT(tr, "SmGraph", nsrc, func(src int) {
 		buckets := make([][]uint64, threads)
 		for _, p := range spEdges[src] {
 			d := int((p * 0x9E3779B97F4A7C15 >> 33) % uint64(threads))
@@ -131,7 +135,8 @@ func smGraphMerge(spEdges [][]uint64, threads int) []uint64 {
 	})
 	// ln. 13–16: each destination combines, sorts, removes duplicates.
 	combined := make([][]uint64, threads)
-	concur.ForThreads(threads, func(dst int) {
+	var deduped int64
+	concur.ForThreadsT(tr, "SmGraph", threads, func(dst int) {
 		var all []uint64
 		for src := 0; src < nsrc; src++ {
 			all = append(all, partitioned[src][dst]...)
@@ -145,6 +150,9 @@ func smGraphMerge(spEdges [][]uint64, threads int) []uint64 {
 			}
 			prev = p
 		}
+		if dropped := len(all) - len(out); dropped > 0 {
+			atomic.AddInt64(&deduped, int64(dropped))
+		}
 		combined[dst] = out
 	})
 	// ln. 17–19: size the final buffer by reduction and merge in parallel.
@@ -155,8 +163,10 @@ func smGraphMerge(spEdges [][]uint64, threads int) []uint64 {
 		total += int64(len(combined[d]))
 	}
 	final := make([]uint64, total)
-	concur.ForThreads(threads, func(dst int) {
+	concur.ForThreadsT(tr, "SmGraph", threads, func(dst int) {
 		copy(final[offsets[dst]:], combined[dst])
 	})
+	cSmGraphDeduped.Add(deduped)
+	cSmGraphFinal.Add(total)
 	return final
 }

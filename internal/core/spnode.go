@@ -6,6 +6,7 @@ import (
 	"equitruss/internal/concur"
 	"equitruss/internal/ds"
 	"equitruss/internal/graph"
+	"equitruss/internal/obs"
 )
 
 // MinK is the smallest trussness that forms supernodes: k-truss communities
@@ -61,11 +62,11 @@ func phiGroups(g *graph.Graph, tau []int32, threads int) (phi [][]int32, kmax in
 // components where every τ lookup goes through the edge dictionary and Π
 // itself lives in a lock-striped sharded map. Returns Π flattened to roots
 // (Π[e] = NoSupernode for τ=2 edges).
-func spNodeBaseline(g *graph.Graph, tau []int32, dict edgeDict, phi [][]int32, threads int) []int32 {
+func spNodeBaseline(g *graph.Graph, tau []int32, dict edgeDict, phi [][]int32, threads int, tr *obs.Trace) []int32 {
 	m := int32(g.NumEdges())
 	pi := ds.NewShardedMap(int(m))
 	// Each edge initially forms its own component (ln. 1–2).
-	concur.For(int(m), threads, func(i int) {
+	concur.ForT(tr, "SpNode", int(m), threads, func(i int) {
 		if tau[i] >= MinK {
 			pi.Store(int64(i), int32(i))
 		}
@@ -80,7 +81,8 @@ func spNodeBaseline(g *graph.Graph, tau []int32, dict edgeDict, phi [][]int32, t
 		for hooking != 0 {
 			hooking = 0
 			// Hooking phase (ln. 10–20).
-			concur.ForRangeDynamic(len(edgesK), threads, 256, func(lo, hi int) {
+			cSVHookRounds.Inc()
+			concur.ForRangeDynamicT(tr, "SpNode", len(edgesK), threads, 256, func(lo, hi int) {
 				localHook := false
 				for i := lo; i < hi; i++ {
 					e := edgesK[i]
@@ -121,7 +123,8 @@ func spNodeBaseline(g *graph.Graph, tau []int32, dict edgeDict, phi [][]int32, t
 				}
 			})
 			// Shortcut phase (ln. 21–23).
-			concur.ForRangeDynamic(len(edgesK), threads, 512, func(lo, hi int) {
+			cSVShortcutRounds.Inc()
+			concur.ForRangeDynamicT(tr, "SpNode", len(edgesK), threads, 512, func(lo, hi int) {
 				for i := lo; i < hi; i++ {
 					e := int64(edgesK[i])
 					for {
@@ -138,7 +141,7 @@ func spNodeBaseline(g *graph.Graph, tau []int32, dict edgeDict, phi [][]int32, t
 	}
 	// Materialize the final flat Π for the downstream kernels.
 	out := make([]int32, m)
-	concur.For(int(m), threads, func(i int) {
+	concur.ForT(tr, "SpNode", int(m), threads, func(i int) {
 		if tau[i] < MinK {
 			out[i] = NoSupernode
 			return
@@ -164,7 +167,10 @@ func svHookSharded(pi *ds.ShardedMap, e, e1 int32) bool {
 	pe1, _ := pi.Load(int64(e1))
 	if pe < pe1 {
 		if p, _ := pi.Load(int64(pe1)); p == pe1 {
-			return pi.CompareAndSwap(int64(pe1), pe1, pe)
+			if pi.CompareAndSwap(int64(pe1), pe1, pe) {
+				return true
+			}
+			cHookCASFailures.Inc()
 		}
 	}
 	return false
@@ -193,10 +199,10 @@ func max32(a, b int32) int32 {
 // straight from the flat tau array indexed by the CSR edge-ID slots, Π is a
 // contiguous int32 buffer updated with atomics, and already-merged partners
 // are skipped before any hooking work.
-func spNodeCOptimal(g *graph.Graph, tau []int32, phi [][]int32, threads int) []int32 {
+func spNodeCOptimal(g *graph.Graph, tau []int32, phi [][]int32, threads int, tr *obs.Trace) []int32 {
 	m := int32(g.NumEdges())
 	pi := make([]int32, m)
-	concur.For(int(m), threads, func(i int) {
+	concur.ForT(tr, "SpNode", int(m), threads, func(i int) {
 		if tau[i] >= MinK {
 			pi[i] = int32(i)
 		} else {
@@ -211,7 +217,8 @@ func spNodeCOptimal(g *graph.Graph, tau []int32, phi [][]int32, threads int) []i
 		hooking := int32(1)
 		for hooking != 0 {
 			hooking = 0
-			concur.ForRangeDynamic(len(edgesK), threads, 256, func(lo, hi int) {
+			cSVHookRounds.Inc()
+			concur.ForRangeDynamicT(tr, "SpNode", len(edgesK), threads, 256, func(lo, hi int) {
 				localHook := false
 				for i := lo; i < hi; i++ {
 					e := edgesK[i]
@@ -230,7 +237,8 @@ func spNodeCOptimal(g *graph.Graph, tau []int32, phi [][]int32, threads int) []i
 					atomic.StoreInt32(&hooking, 1)
 				}
 			})
-			concur.ForRangeDynamic(len(edgesK), threads, 512, func(lo, hi int) {
+			cSVShortcutRounds.Inc()
+			concur.ForRangeDynamicT(tr, "SpNode", len(edgesK), threads, 512, func(lo, hi int) {
 				for i := lo; i < hi; i++ {
 					e := edgesK[i]
 					for {
@@ -258,7 +266,10 @@ func svHookFlat(pi []int32, e, e1 int32) bool {
 		return false // C-Opt skip: already merged
 	}
 	if pe < pe1 && atomic.LoadInt32(&pi[pe1]) == pe1 {
-		return atomic.CompareAndSwapInt32(&pi[pe1], pe1, pe)
+		if atomic.CompareAndSwapInt32(&pi[pe1], pe1, pe) {
+			return true
+		}
+		cHookCASFailures.Inc()
 	}
 	return false
 }
@@ -301,12 +312,12 @@ const afforestSampleSize = 1024
 // partner of every edge outside it. Exactness is preserved because the
 // final pass processes all edges not yet in the dominant component and the
 // partner relation is symmetric.
-func spNodeAfforest(g *graph.Graph, tau []int32, threads int) []int32 {
+func spNodeAfforest(g *graph.Graph, tau []int32, threads int, tr *obs.Trace) []int32 {
 	m := int32(g.NumEdges())
 	cuf := ds.NewConcurrentUnionFind(int(m))
 	// Link rounds over the r-th valid partner of each edge.
 	for r := 0; r < afforestNeighborRounds; r++ {
-		concur.ForRangeDynamic(int(m), threads, 512, func(lo, hi int) {
+		concur.ForRangeDynamicT(tr, "SpNode", int(m), threads, 512, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				e := int32(i)
 				k := tau[e]
@@ -339,7 +350,7 @@ func spNodeAfforest(g *graph.Graph, tau []int32, threads int) []int32 {
 	dominant := sampleDominant(cuf, tau, m)
 	// Finalization: exhaustively link everything outside the dominant
 	// component, skipping the (typically large) fraction already settled.
-	concur.ForRangeDynamic(int(m), threads, 512, func(lo, hi int) {
+	concur.ForRangeDynamicT(tr, "SpNode", int(m), threads, 512, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			e := int32(i)
 			k := tau[e]
@@ -362,13 +373,14 @@ func spNodeAfforest(g *graph.Graph, tau []int32, threads int) []int32 {
 	})
 	compressAll(cuf, threads)
 	pi := make([]int32, m)
-	concur.For(int(m), threads, func(i int) {
+	concur.ForT(tr, "SpNode", int(m), threads, func(i int) {
 		if tau[i] < MinK {
 			pi[i] = NoSupernode
 		} else {
 			pi[i] = cuf.Find(int32(i))
 		}
 	})
+	cUnionFindRetries.Add(cuf.Retries())
 	return pi
 }
 
@@ -380,7 +392,9 @@ func compressAll(cuf *ds.ConcurrentUnionFind, threads int) {
 }
 
 // sampleDominant returns the most frequent component root among a fixed
-// sample of τ>=3 edges, or -1 when none qualify.
+// sample of τ>=3 edges, or -1 when none qualify. The sampled total and the
+// dominant component's hit count feed the afforest sampling counters — the
+// hit ratio is the fraction of work the finalization pass gets to skip.
 func sampleDominant(cuf *ds.ConcurrentUnionFind, tau []int32, m int32) int32 {
 	if m == 0 {
 		return -1
@@ -390,9 +404,11 @@ func sampleDominant(cuf *ds.ConcurrentUnionFind, tau []int32, m int32) int32 {
 	if stride < 1 {
 		stride = 1
 	}
+	sampled := 0
 	for e := int32(0); e < m; e += stride {
 		if tau[e] >= MinK {
 			counts[cuf.Find(e)]++
+			sampled++
 		}
 	}
 	best, bestN := int32(-1), 0
@@ -401,5 +417,7 @@ func sampleDominant(cuf *ds.ConcurrentUnionFind, tau []int32, m int32) int32 {
 			best, bestN = r, n
 		}
 	}
+	cAffSampleTotal.Add(int64(sampled))
+	cAffSampleHits.Add(int64(bestN))
 	return best
 }

@@ -6,6 +6,7 @@ import (
 	"equitruss/internal/concur"
 	"equitruss/internal/ds"
 	"equitruss/internal/graph"
+	"equitruss/internal/obs"
 )
 
 // The paper (§3.1) selects SV and Afforest for the edge-entity connected
@@ -19,10 +20,10 @@ import (
 // every edge repeatedly adopts the smallest Π among its same-k qualifying
 // triangle partners until a fixpoint. Rounds scale with the diameter of
 // the largest supernode — the weakness the paper calls out.
-func spNodeLabelProp(g *graph.Graph, tau []int32, threads int) []int32 {
+func spNodeLabelProp(g *graph.Graph, tau []int32, threads int, tr *obs.Trace) []int32 {
 	m := int32(g.NumEdges())
 	pi := make([]int32, m)
-	concur.For(int(m), threads, func(i int) {
+	concur.ForT(tr, "SpNode", int(m), threads, func(i int) {
 		if tau[i] >= MinK {
 			pi[i] = int32(i)
 		} else {
@@ -32,7 +33,7 @@ func spNodeLabelProp(g *graph.Graph, tau []int32, threads int) []int32 {
 	changed := int32(1)
 	for changed != 0 {
 		changed = 0
-		concur.ForRangeDynamic(int(m), threads, 512, func(lo, hi int) {
+		concur.ForRangeDynamicT(tr, "SpNode", int(m), threads, 512, func(lo, hi int) {
 			local := false
 			for i := lo; i < hi; i++ {
 				e := int32(i)
@@ -74,7 +75,7 @@ func spNodeLabelProp(g *graph.Graph, tau []int32, threads int) []int32 {
 // expands in parallel through same-k qualifying triangles. Within one
 // supernode the frontier parallelizes; across the (many) small supernodes
 // the traversal is sequential — the paper's reason to reject it.
-func spNodeBFS(g *graph.Graph, tau []int32, threads int) []int32 {
+func spNodeBFS(g *graph.Graph, tau []int32, threads int, tr *obs.Trace) []int32 {
 	m := int32(g.NumEdges())
 	pi := make([]int32, m)
 	for i := range pi {
@@ -95,7 +96,7 @@ func spNodeBFS(g *graph.Graph, tau []int32, threads int) []int32 {
 		frontier = append(frontier[:0], seed)
 		for len(frontier) > 0 {
 			bufs := make([][]int32, threads)
-			concur.ForThreads(threads, func(tid int) {
+			concur.ForThreadsT(tr, "SpNode", threads, func(tid int) {
 				lo := tid * len(frontier) / threads
 				hi := (tid + 1) * len(frontier) / threads
 				var buf []int32

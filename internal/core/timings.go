@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"equitruss/internal/obs"
 )
 
 // Timings records per-kernel wall times of one pipeline run, matching the
@@ -19,6 +21,19 @@ type Timings struct {
 	SmGraph     time.Duration
 	SpNodeRemap time.Duration
 	Threads     int
+	// Runs counts how many runs are accumulated in the duration fields (a
+	// single build is 1; Add sums them), so Mean divides correctly when
+	// averaging repeated runs. A zero value is treated as one run for
+	// compatibility with hand-built literals.
+	Runs int
+}
+
+// runsOrOne treats the zero value as a single run.
+func (t Timings) runsOrOne() int {
+	if t.Runs < 1 {
+		return 1
+	}
+	return t.Runs
 }
 
 // IndexTotal is the combined time of the index-construction kernels —
@@ -34,7 +49,8 @@ func (t Timings) Total() time.Duration {
 	return t.Support + t.TrussDecomp + t.IndexTotal()
 }
 
-// Add accumulates kernel times (useful for averaging repeated runs).
+// Add accumulates kernel times (useful for averaging repeated runs) and
+// sums the run counts, treating a zero Runs as one run.
 func (t Timings) Add(o Timings) Timings {
 	return Timings{
 		Support:     t.Support + o.Support,
@@ -45,25 +61,75 @@ func (t Timings) Add(o Timings) Timings {
 		SmGraph:     t.SmGraph + o.SmGraph,
 		SpNodeRemap: t.SpNodeRemap + o.SpNodeRemap,
 		Threads:     t.Threads,
+		Runs:        t.runsOrOne() + o.runsOrOne(),
+	}
+}
+
+// Mean divides the accumulated kernel times by the run count, yielding the
+// per-run average of a sum built with Add.
+func (t Timings) Mean() Timings {
+	n := time.Duration(t.runsOrOne())
+	return Timings{
+		Support:     t.Support / n,
+		TrussDecomp: t.TrussDecomp / n,
+		Init:        t.Init / n,
+		SpNode:      t.SpNode / n,
+		SpEdge:      t.SpEdge / n,
+		SmGraph:     t.SmGraph / n,
+		SpNodeRemap: t.SpNodeRemap / n,
+		Threads:     t.Threads,
+		Runs:        1,
+	}
+}
+
+// kernels pairs each kernel name with its duration, in pipeline order.
+func (t Timings) kernels() []struct {
+	Name string
+	D    time.Duration
+} {
+	return []struct {
+		Name string
+		D    time.Duration
+	}{
+		{"Support", t.Support},
+		{"TrussDecomp", t.TrussDecomp},
+		{"Init", t.Init},
+		{"SpNode", t.SpNode},
+		{"SpEdge", t.SpEdge},
+		{"SmGraph", t.SmGraph},
+		{"SpNodeRemap", t.SpNodeRemap},
+	}
+}
+
+// EmitSpans synthesizes one pipeline-level span per non-zero kernel into
+// tr, laid back-to-back from the trace epoch. It approximates a real trace
+// from Timings alone, so builds that ran without a tracer attached can
+// still produce a (thread-less) report and Chrome trace after the fact.
+func (t Timings) EmitSpans(tr *obs.Trace) {
+	var at time.Duration
+	for _, k := range t.kernels() {
+		if k.D == 0 {
+			continue
+		}
+		tr.Emit(obs.Span{Name: k.Name, TID: obs.PipelineTID, Start: at, Dur: k.D})
+		at += k.D
 	}
 }
 
 // Breakdown renders the kernels as "name pct%" pairs of the total,
-// mirroring the stacked percentage plots of Figures 2 and 4.
+// mirroring the stacked percentage plots of Figures 2 and 4. Kernels that
+// recorded no time are omitted rather than printed as 0.0% noise.
 func (t Timings) Breakdown() string {
 	total := t.Total()
 	if total == 0 {
 		return "(no timings)"
 	}
-	pct := func(d time.Duration) float64 { return 100 * float64(d) / float64(total) }
-	parts := []string{
-		fmt.Sprintf("Support %.1f%%", pct(t.Support)),
-		fmt.Sprintf("TrussDecomp %.1f%%", pct(t.TrussDecomp)),
-		fmt.Sprintf("Init %.1f%%", pct(t.Init)),
-		fmt.Sprintf("SpNode %.1f%%", pct(t.SpNode)),
-		fmt.Sprintf("SpEdge %.1f%%", pct(t.SpEdge)),
-		fmt.Sprintf("SmGraph %.1f%%", pct(t.SmGraph)),
-		fmt.Sprintf("SpNodeRemap %.1f%%", pct(t.SpNodeRemap)),
+	var parts []string
+	for _, k := range t.kernels() {
+		if k.D == 0 {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s %.1f%%", k.Name, 100*float64(k.D)/float64(total)))
 	}
 	return strings.Join(parts, ", ")
 }

@@ -61,8 +61,11 @@ func (uf *UnionFind) Len() int { return len(uf.parent) }
 // concurrent Union/Find from many goroutines. It implements the
 // priority-hook scheme used by Afforest: Union links the larger root under
 // the smaller via CAS, and Find performs lock-free path compression.
+// Failed hook CASes (another thread moved the root first) are counted so
+// contention on the forest is observable; read them with Retries.
 type ConcurrentUnionFind struct {
-	parent []int32
+	parent  []int32
+	retries atomic.Int64
 }
 
 // NewConcurrentUnionFind returns a concurrent forest of n singleton sets.
@@ -108,8 +111,13 @@ func (cuf *ConcurrentUnionFind) Union(x, y int32) {
 		if atomic.CompareAndSwapInt32(&cuf.parent[ry], ry, rx) {
 			return
 		}
+		cuf.retries.Add(1)
 	}
 }
+
+// Retries returns the number of Union hook CASes lost to concurrent
+// writers — a direct measure of contention on the forest.
+func (cuf *ConcurrentUnionFind) Retries() int64 { return cuf.retries.Load() }
 
 // Same reports whether x and y are currently in the same set. Only exact
 // when no unions are running concurrently.

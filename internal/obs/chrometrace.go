@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// Chrome trace-event pids: pipeline-level spans and per-worker spans render
+// as two separate process lanes in chrome://tracing / Perfetto, so the
+// kernel timeline sits above the worker timelines it fans out into.
+const (
+	chromePipelinePID = 1
+	chromeWorkersPID  = 2
+)
+
+// WriteChromeTrace writes the trace in the Chrome trace-event JSON format
+// (the "traceEvents" object form), loadable in chrome://tracing and
+// Perfetto. Pipeline-level spans appear under the "pipeline" process;
+// per-thread spans appear under the "workers" process keyed by worker ID.
+// Timestamps are microseconds from the trace epoch. Events are emitted as
+// complete ("X") events in recorded order.
+func WriteChromeTrace(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\"traceEvents\":[\n")
+	bw.WriteString(`{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"pipeline"}}`)
+	bw.WriteString(",\n")
+	bw.WriteString(`{"name":"process_name","ph":"M","pid":2,"tid":0,"args":{"name":"workers"}}`)
+	for _, s := range t.Spans() {
+		pid, tid := chromePipelinePID, 0
+		if s.TID != PipelineTID {
+			pid, tid = chromeWorkersPID, s.TID
+		}
+		bw.WriteString(",\n")
+		fmt.Fprintf(bw, `{"name":%s,"cat":%q,"ph":"X","ts":%s,"dur":%s,"pid":%d,"tid":%d`,
+			strconv.Quote(s.Name), spanCategory(s), usec(s.Start), usec(s.Dur), pid, tid)
+		if s.Items > 0 {
+			fmt.Fprintf(bw, `,"args":{"items":%d}`, s.Items)
+		}
+		bw.WriteString("}")
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+func spanCategory(s Span) string {
+	if s.TID == PipelineTID {
+		return "kernel"
+	}
+	return "thread"
+}
+
+// usec renders a duration as decimal microseconds with nanosecond
+// precision, without float formatting artifacts.
+func usec(d time.Duration) string {
+	ns := int64(d)
+	sign := ""
+	if ns < 0 {
+		sign, ns = "-", -ns
+	}
+	if ns%1000 == 0 {
+		return sign + strconv.FormatInt(ns/1000, 10)
+	}
+	return fmt.Sprintf("%s%d.%03d", sign, ns/1000, ns%1000)
+}

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// promNamespace prefixes every exposed metric name.
+const promNamespace = "equitruss"
+
+// WritePrometheus writes a Prometheus text-exposition (version 0.0.4)
+// snapshot: every registered counter as a *_total counter, and — when a
+// trace is supplied — per-kernel wall seconds, per-thread busy seconds,
+// and the max/mean imbalance ratio as gauges. Either argument may be nil.
+func WritePrometheus(w io.Writer, reg *Registry, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if reg != nil {
+		for _, c := range reg.Snapshot() {
+			name := promNamespace + "_" + sanitizeMetricName(c.Name) + "_total"
+			if c.Help != "" {
+				fmt.Fprintf(bw, "# HELP %s %s\n", name, c.Help)
+			}
+			fmt.Fprintf(bw, "# TYPE %s counter\n", name)
+			fmt.Fprintf(bw, "%s %d\n", name, c.Value)
+		}
+	}
+	if t != nil {
+		rep := NewReport(t, nil)
+		writeKernelGauges(bw, rep)
+	}
+	return bw.Flush()
+}
+
+// WritePrometheusReport is WritePrometheus over an already-aggregated
+// report (counters included in the report itself).
+func WritePrometheusReport(w io.Writer, rep *Report) error {
+	bw := bufio.NewWriter(w)
+	for _, c := range rep.Counters {
+		name := promNamespace + "_" + sanitizeMetricName(c.Name) + "_total"
+		if c.Help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", name, c.Help)
+		}
+		fmt.Fprintf(bw, "# TYPE %s counter\n", name)
+		fmt.Fprintf(bw, "%s %d\n", name, c.Value)
+	}
+	writeKernelGauges(bw, rep)
+	return bw.Flush()
+}
+
+func writeKernelGauges(bw *bufio.Writer, rep *Report) {
+	if len(rep.Kernels) == 0 {
+		return
+	}
+	wall := promNamespace + "_kernel_seconds"
+	fmt.Fprintf(bw, "# HELP %s wall time of each pipeline kernel\n", wall)
+	fmt.Fprintf(bw, "# TYPE %s gauge\n", wall)
+	for _, k := range rep.Kernels {
+		if k.Wall > 0 {
+			fmt.Fprintf(bw, "%s{kernel=%q} %.9f\n", wall, k.Name, k.Wall.Seconds())
+		}
+	}
+	busy := promNamespace + "_kernel_thread_busy_seconds"
+	fmt.Fprintf(bw, "# HELP %s cumulative per-worker busy time inside each kernel\n", busy)
+	fmt.Fprintf(bw, "# TYPE %s gauge\n", busy)
+	for _, k := range rep.Kernels {
+		for _, ts := range k.Threads {
+			fmt.Fprintf(bw, "%s{kernel=%q,tid=\"%d\"} %.9f\n", busy, k.Name, ts.TID, ts.Busy.Seconds())
+		}
+	}
+	imb := promNamespace + "_kernel_imbalance_ratio"
+	fmt.Fprintf(bw, "# HELP %s max over mean per-worker busy time (1.0 = perfectly balanced)\n", imb)
+	fmt.Fprintf(bw, "# TYPE %s gauge\n", imb)
+	for _, k := range rep.Kernels {
+		if k.Imbalance > 0 {
+			fmt.Fprintf(bw, "%s{kernel=%q} %.6f\n", imb, k.Name, k.Imbalance)
+		}
+	}
+	items := promNamespace + "_kernel_items"
+	fmt.Fprintf(bw, "# HELP %s work units processed by each kernel\n", items)
+	fmt.Fprintf(bw, "# TYPE %s gauge\n", items)
+	for _, k := range rep.Kernels {
+		if k.Items > 0 {
+			fmt.Fprintf(bw, "%s{kernel=%q} %d\n", items, k.Name, k.Items)
+		}
+	}
+}
+
+// sanitizeMetricName maps a counter name onto the Prometheus metric-name
+// alphabet [a-zA-Z0-9_].
+func sanitizeMetricName(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}

@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// ThreadStat is one worker's cumulative contribution to a kernel: the sum
+// of all its per-thread spans for that kernel name.
+type ThreadStat struct {
+	TID   int           `json:"tid"`
+	Busy  time.Duration `json:"busy_ns"`
+	Items int64         `json:"items,omitempty"`
+}
+
+// KernelStats aggregates every span sharing one name: the pipeline-level
+// wall time plus the per-thread busy-time distribution that exposes load
+// imbalance.
+type KernelStats struct {
+	Name string `json:"name"`
+	// Wall is the summed duration of the kernel's pipeline-level spans
+	// (zero if the kernel emitted only per-thread spans).
+	Wall time.Duration `json:"wall_ns"`
+	// Items is the total work units across all threads.
+	Items int64 `json:"items,omitempty"`
+	// Threads holds cumulative busy time per worker, sorted by TID.
+	Threads []ThreadStat `json:"threads,omitempty"`
+	// MaxThread and MeanThread summarize the busy-time distribution.
+	MaxThread  time.Duration `json:"max_thread_ns,omitempty"`
+	MeanThread time.Duration `json:"mean_thread_ns,omitempty"`
+	// Imbalance is MaxThread/MeanThread — 1.0 is a perfectly balanced
+	// kernel, and the gap above 1.0 is wall time lost to skew. Zero when
+	// the kernel recorded no per-thread spans.
+	Imbalance float64 `json:"imbalance,omitempty"`
+}
+
+// Report is the aggregated view of one run: kernels in pipeline order with
+// their imbalance ratios, plus a snapshot of the counter registry.
+type Report struct {
+	Kernels  []KernelStats  `json:"kernels"`
+	Counters []CounterValue `json:"counters,omitempty"`
+}
+
+// NewReport aggregates a trace's spans per kernel name and snapshots reg
+// (which may be nil to omit counters). Kernels are ordered by the start of
+// their earliest span, i.e. pipeline order.
+func NewReport(t *Trace, reg *Registry) *Report {
+	r := &Report{}
+	if reg != nil {
+		r.Counters = reg.Snapshot()
+	}
+	spans := t.Spans()
+	type agg struct {
+		first   time.Duration
+		wall    time.Duration
+		items   int64
+		byTID   map[int]*ThreadStat
+		order   int
+		hasWall bool
+	}
+	byName := make(map[string]*agg)
+	for _, s := range spans {
+		a, ok := byName[s.Name]
+		if !ok {
+			a = &agg{first: s.Start, byTID: make(map[int]*ThreadStat), order: len(byName)}
+			byName[s.Name] = a
+		}
+		if s.Start < a.first {
+			a.first = s.Start
+		}
+		a.items += s.Items
+		if s.TID == PipelineTID {
+			a.wall += s.Dur
+			a.hasWall = true
+			continue
+		}
+		ts, ok := a.byTID[s.TID]
+		if !ok {
+			ts = &ThreadStat{TID: s.TID}
+			a.byTID[s.TID] = ts
+		}
+		ts.Busy += s.Dur
+		ts.Items += s.Items
+	}
+	names := make([]string, 0, len(byName))
+	for name := range byName {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		a, b := byName[names[i]], byName[names[j]]
+		if a.first != b.first {
+			return a.first < b.first
+		}
+		return a.order < b.order
+	})
+	for _, name := range names {
+		a := byName[name]
+		ks := KernelStats{Name: name, Wall: a.wall, Items: a.items}
+		for _, ts := range a.byTID {
+			ks.Threads = append(ks.Threads, *ts)
+		}
+		sort.Slice(ks.Threads, func(i, j int) bool { return ks.Threads[i].TID < ks.Threads[j].TID })
+		if len(ks.Threads) > 0 {
+			var sum time.Duration
+			for _, ts := range ks.Threads {
+				sum += ts.Busy
+				if ts.Busy > ks.MaxThread {
+					ks.MaxThread = ts.Busy
+				}
+			}
+			ks.MeanThread = sum / time.Duration(len(ks.Threads))
+			if ks.MeanThread > 0 {
+				ks.Imbalance = float64(ks.MaxThread) / float64(ks.MeanThread)
+			}
+		}
+		r.Kernels = append(r.Kernels, ks)
+	}
+	return r
+}
+
+// Kernel returns the stats for a kernel name, or nil if it never ran.
+func (r *Report) Kernel(name string) *KernelStats {
+	for i := range r.Kernels {
+		if r.Kernels[i].Name == name {
+			return &r.Kernels[i]
+		}
+	}
+	return nil
+}
+
+// String renders the human summary: one row per kernel with wall time,
+// thread count, max/mean thread busy time, and the imbalance ratio,
+// followed by the non-zero counters.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %12s %8s %12s %12s %10s\n",
+		"kernel", "wall", "threads", "max-thread", "mean-thread", "imbalance")
+	for _, k := range r.Kernels {
+		wall := "-"
+		if k.Wall > 0 {
+			wall = k.Wall.Round(time.Microsecond).String()
+		}
+		if len(k.Threads) == 0 {
+			fmt.Fprintf(&b, "%-24s %12s %8s %12s %12s %10s\n", k.Name, wall, "-", "-", "-", "-")
+			continue
+		}
+		fmt.Fprintf(&b, "%-24s %12s %8d %12s %12s %10.2f\n",
+			k.Name, wall, len(k.Threads),
+			k.MaxThread.Round(time.Microsecond), k.MeanThread.Round(time.Microsecond),
+			k.Imbalance)
+	}
+	var nonzero []CounterValue
+	for _, c := range r.Counters {
+		if c.Value != 0 {
+			nonzero = append(nonzero, c)
+		}
+	}
+	if len(nonzero) > 0 {
+		b.WriteString("counters:\n")
+		for _, c := range nonzero {
+			fmt.Fprintf(&b, "  %-36s %d\n", c.Name, c.Value)
+		}
+	}
+	return b.String()
+}

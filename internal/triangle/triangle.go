@@ -11,15 +11,23 @@ package triangle
 import (
 	"equitruss/internal/concur"
 	"equitruss/internal/graph"
+	"equitruss/internal/obs"
 )
 
 // Supports returns support(e) for every edge ID, computed with the given
-// number of threads (<= 0 means all cores).
+// number of threads (<= 0 means all cores). SupportsT is the traced form.
 func Supports(g *graph.Graph, threads int) []int32 {
+	return SupportsT(g, threads, nil)
+}
+
+// SupportsT is Supports with per-thread "Support" spans emitted into tr;
+// the dynamic scheduler records how many edges each worker claimed, which
+// is exactly the load-balance signal the kernel's chunking exists to fix.
+func SupportsT(g *graph.Graph, threads int, tr *obs.Trace) []int32 {
 	m := int(g.NumEdges())
 	sup := make([]int32, m)
 	edges := g.Edges()
-	concur.ForRangeDynamic(m, threads, 512, func(lo, hi int) {
+	concur.ForRangeDynamicT(tr, "Support", m, threads, 512, func(lo, hi int) {
 		for eid := lo; eid < hi; eid++ {
 			e := edges[eid]
 			sup[eid] = g.CommonNeighborCount(e.U, e.V)

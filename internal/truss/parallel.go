@@ -6,6 +6,21 @@ import (
 	"equitruss/internal/concur"
 	"equitruss/internal/ds"
 	"equitruss/internal/graph"
+	"equitruss/internal/obs"
+)
+
+// Counters emitted by the parallel peeling: levels and sub-rounds expose
+// how level-synchronous the instance is, decrements count the triangle-
+// destruction work, captures count frontier admissions.
+var (
+	cPeelLevels = obs.GetCounter("truss_peel_levels",
+		"support levels processed by the parallel peeling decomposition")
+	cPeelSubrounds = obs.GetCounter("truss_peel_subrounds",
+		"frontier sub-rounds processed by the parallel peeling decomposition")
+	cPeelDecrements = obs.GetCounter("truss_support_decrements",
+		"atomic support decrements applied by the parallel peeling")
+	cPeelCaptures = obs.GetCounter("truss_frontier_captures",
+		"edges captured into a peel frontier on a support-level transition")
 )
 
 // DecomposeParallel is the level-synchronous parallel peeling: at peel
@@ -16,7 +31,15 @@ import (
 // exactly once — the discipline of shared-memory PKT-style decompositions.
 //
 // The result is exactly DecomposeSerial's (trussness is unique).
+// DecomposeParallelT is the traced form.
 func DecomposeParallel(g *graph.Graph, supports []int32, threads int) (tau []int32, kmax int32) {
+	return DecomposeParallelT(g, supports, threads, nil)
+}
+
+// DecomposeParallelT is DecomposeParallel with observability: each peel
+// sub-round's processing pass emits per-thread "TrussDecomp" spans into tr,
+// and the peeling counters above accumulate regardless of tracing.
+func DecomposeParallelT(g *graph.Graph, supports []int32, threads int, tr *obs.Trace) (tau []int32, kmax int32) {
 	m := int32(g.NumEdges())
 	tau = make([]int32, m)
 	if m == 0 {
@@ -36,18 +59,21 @@ func DecomposeParallel(g *graph.Graph, supports []int32, threads int) (tau []int
 	nextBufs := make([][]int32, threads)
 
 	for remaining > 0 {
+		cPeelLevels.Inc()
 		// Collect the initial frontier for this level.
-		curr := collectFrontier(sup, deleted, level, threads)
+		curr := collectFrontier(sup, deleted, level, threads, tr)
 		for len(curr) > 0 {
+			cPeelSubrounds.Inc()
 			n := len(curr)
-			concur.For(n, threads, func(i int) { inCurr.SetAtomic(int(curr[i])) })
+			concur.ForT(tr, "TrussDecomp", n, threads, func(i int) { inCurr.SetAtomic(int(curr[i])) })
 			for t := range nextBufs {
 				nextBufs[t] = nextBufs[t][:0]
 			}
-			concur.ForThreads(threads, func(tid int) {
+			concur.ForThreadsT(tr, "TrussDecomp", threads, func(tid int) {
 				lo := tid * n / threads
 				hi := (tid + 1) * n / threads
 				next := nextBufs[tid]
+				var decs int64
 				for i := lo; i < hi; i++ {
 					e := curr[i]
 					tau[e] = level + 2
@@ -64,23 +90,25 @@ func DecomposeParallel(g *graph.Graph, supports []int32, threads int) (tau []int
 							// e and e1 peeled together; e owns the
 							// decrement of e2 iff it has the smaller ID.
 							if e < e1 {
-								next = decCapture(sup, e2, level, next)
+								next = decCapture(sup, e2, level, next, &decs)
 							}
 						case c2:
 							if e < e2 {
-								next = decCapture(sup, e1, level, next)
+								next = decCapture(sup, e1, level, next, &decs)
 							}
 						default:
-							next = decCapture(sup, e1, level, next)
-							next = decCapture(sup, e2, level, next)
+							next = decCapture(sup, e1, level, next, &decs)
+							next = decCapture(sup, e2, level, next, &decs)
 						}
 						return true
 					})
 				}
 				nextBufs[tid] = next
+				cPeelDecrements.Add(decs)
+				cPeelCaptures.Add(int64(len(next)))
 			})
 			// Retire the processed frontier.
-			concur.For(n, threads, func(i int) {
+			concur.ForT(tr, "TrussDecomp", n, threads, func(i int) {
 				e := curr[i]
 				inCurr.ClearAtomic(int(e))
 				deleted.SetAtomic(int(e))
@@ -99,8 +127,10 @@ func DecomposeParallel(g *graph.Graph, supports []int32, threads int) (tau []int
 // decCapture atomically decrements sup[e] and appends e to next exactly
 // when the decrement crosses into the current peel level — the
 // capture-on-transition trick that guarantees each edge enters the frontier
-// once.
-func decCapture(sup []int32, e, level int32, next []int32) []int32 {
+// once. decs accumulates thread-locally; the worker flushes it to the
+// process counter once per block so the hot loop stays atomic-free.
+func decCapture(sup []int32, e, level int32, next []int32, decs *int64) []int32 {
+	*decs++
 	if v := atomic.AddInt32(&sup[e], -1); v == level {
 		next = append(next, e)
 	}
@@ -109,10 +139,10 @@ func decCapture(sup []int32, e, level int32, next []int32) []int32 {
 
 // collectFrontier gathers all alive edges with support <= level using
 // per-thread buffers.
-func collectFrontier(sup []int32, deleted *ds.Bitset, level int32, threads int) []int32 {
+func collectFrontier(sup []int32, deleted *ds.Bitset, level int32, threads int, tr *obs.Trace) []int32 {
 	m := len(sup)
 	bufs := make([][]int32, threads)
-	concur.ForThreads(threads, func(tid int) {
+	concur.ForThreadsT(tr, "TrussDecomp", threads, func(tid int) {
 		lo := tid * m / threads
 		hi := (tid + 1) * m / threads
 		var buf []int32
