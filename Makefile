@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench repro examples ci clean
+.PHONY: all build test race bench repro examples ci serversmoke clean
 
 all: build test
 
@@ -17,12 +17,18 @@ race:
 
 # The gate every change must pass: vet, build, full tests, and the
 # race-detector subset covering the shared-state hot spots (schedulers,
-# connected components).
-ci:
+# connected components, the query server).
+ci: serversmoke
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
 	$(GO) test -race ./internal/concur ./internal/cc
+
+# Race-enabled server smoke: 64 concurrent clients hammer one handler
+# (httptest) mixing cached singles and pooled batches, answers checked
+# against a precomputed oracle.
+serversmoke:
+	$(GO) test -race -run 'TestServerSmokeConcurrent|TestGracefulShutdownDrainsInflight' ./internal/server
 
 # One benchmark per paper table/figure plus ablations (bench_test.go).
 bench:

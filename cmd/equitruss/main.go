@@ -6,6 +6,7 @@
 //	equitruss build  -graph g.txt [-variant afforest] [-threads N] [-out index.bin]
 //	equitruss query  -graph g.txt -index index.bin -vertex V -k K
 //	equitruss stats  -graph g.txt [-variant afforest] [-threads N]
+//	equitruss serve  -graph g.txt [-index index.bin] [-addr :8080]
 //
 // The graph argument accepts either a SNAP-style edge-list file or
 // "dataset:<name>[:<sizeFactor>]" for a built-in synthetic surrogate, e.g.
@@ -42,6 +43,8 @@ func main() {
 		err = runStats(os.Args[2:])
 	case "export":
 		err = runExport(os.Args[2:])
+	case "serve":
+		err = runServe(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -61,6 +64,7 @@ func usage() {
   equitruss query -graph <...> (-index index.bin | -variant ...) -vertex V -k K
   equitruss stats -graph <...> [-variant ...] [-threads N]
   equitruss export -graph <...> [-what summary|graph] [-out file.dot]
+  equitruss serve -graph <...> [-index index.bin | -variant ...] [-addr :8080] [-cache N] [-workers N] [-maxbatch N] [-drain 10s]
 `)
 }
 

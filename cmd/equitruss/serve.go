@@ -1,0 +1,86 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"equitruss"
+)
+
+// runServe loads (or builds) an index once and serves community queries
+// over HTTP/JSON until SIGINT/SIGTERM, then drains in-flight requests.
+func runServe(args []string) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return runServeCtx(ctx, args, func(addr net.Addr) {
+		fmt.Printf("serving community queries on http://%s (GET /community, POST /batch, /healthz, /metrics)\n", addr)
+	})
+}
+
+// runServeCtx is runServe with the lifetime context and listen callback
+// injected, so tests can bind to :0 and shut the server down.
+func runServeCtx(ctx context.Context, args []string, onListen func(net.Addr)) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	graphSpec := fs.String("graph", "", "edge-list path or dataset:<name>[:<factor>]")
+	indexPath := fs.String("index", "", "binary index from 'equitruss build -out' (omit to build at startup)")
+	variantName := fs.String("variant", "afforest", "variant to build with if no -index given")
+	threads := fs.Int("threads", 0, "build threads (0 = all cores)")
+	addr := fs.String("addr", ":8080", "listen address")
+	cacheSize := fs.Int("cache", 0, "LRU result-cache entries (0 = default 4096, negative disables)")
+	workers := fs.Int("workers", 0, "max goroutines executing queries (0 = all cores)")
+	maxBatch := fs.Int("maxbatch", 0, "max queries per /batch request (0 = default 10000)")
+	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+	trace := fs.Bool("trace", false, "record per-request latency spans, exposed via /metrics (diagnostic runs only: spans accumulate unbounded)")
+	fs.Parse(args)
+	if *graphSpec == "" {
+		return fmt.Errorf("-graph is required")
+	}
+	g, err := loadGraph(*graphSpec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("graph: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+	var idx *equitruss.Index
+	if *indexPath != "" {
+		f, err := os.Open(*indexPath)
+		if err != nil {
+			return err
+		}
+		idx, err = equitruss.LoadIndex(f, g)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("index loaded from %s\n", *indexPath)
+	} else {
+		variant, err := parseVariant(*variantName)
+		if err != nil {
+			return err
+		}
+		idx, err = equitruss.BuildIndex(g, equitruss.Options{Variant: variant, Threads: *threads})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("index built (%v) in %v\n", variant, idx.Timings.Total())
+	}
+	fmt.Printf("index: %d supernodes, %d superedges\n", idx.SG.NumSupernodes(), idx.SG.NumSuperedges())
+	var tr *equitruss.Tracer
+	if *trace {
+		tr = equitruss.NewTracer()
+	}
+	return equitruss.Serve(ctx, idx, equitruss.ServeOptions{
+		Addr:         *addr,
+		CacheSize:    *cacheSize,
+		Workers:      *workers,
+		MaxBatch:     *maxBatch,
+		DrainTimeout: *drain,
+		Tracer:       tr,
+		OnListen:     onListen,
+	})
+}

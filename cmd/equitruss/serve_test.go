@@ -1,0 +1,131 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func writeCliqueGraph(t *testing.T, dir string, n int) string {
+	t.Helper()
+	var b strings.Builder
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			b.WriteString(itoa(u) + " " + itoa(v) + "\n")
+		}
+	}
+	path := filepath.Join(dir, "g.txt")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunServeErrors(t *testing.T) {
+	if err := runServeCtx(context.Background(), []string{}, nil); err == nil {
+		t.Error("missing -graph accepted")
+	}
+	if err := runServeCtx(context.Background(), []string{"-graph", "g.txt", "-variant", "bogus"}, nil); err == nil {
+		t.Error("bad variant accepted")
+	}
+	if err := runServeCtx(context.Background(), []string{"-graph", "/no/such/file"}, nil); err == nil {
+		t.Error("missing graph file accepted")
+	}
+}
+
+func TestRunServeEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	gpath := writeCliqueGraph(t, dir, 6)
+	ipath := filepath.Join(dir, "g.idx")
+	if err := runBuild([]string{"-graph", gpath, "-variant", "coptimal", "-out", ipath}); err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addrCh := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- runServeCtx(ctx, []string{
+			"-graph", gpath, "-index", ipath, "-addr", "127.0.0.1:0", "-drain", "2s",
+		}, func(a net.Addr) { addrCh <- a.String() })
+	}()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case err := <-done:
+		t.Fatalf("serve exited before listening: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve never started listening")
+	}
+	resp, err := http.Get("http://" + addr + "/community?v=0&k=6")
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	var doc struct {
+		Count       int `json:"count"`
+		Communities []struct {
+			Size int `json:"size"`
+		} `json:"communities"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&doc)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: status %d, err %v", resp.StatusCode, err)
+	}
+	// The 6-clique is one 6-truss community containing every vertex.
+	if doc.Count != 1 || doc.Communities[0].Size != 6 {
+		t.Fatalf("6-clique answer = %+v", doc)
+	}
+	resp, err = http.Get("http://" + addr + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v / %d", err, resp.StatusCode)
+	}
+	resp.Body.Close()
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v after graceful shutdown", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not shut down")
+	}
+}
+
+// TestRunServeBuildsWithoutIndex covers the build-at-startup path.
+func TestRunServeBuildsWithoutIndex(t *testing.T) {
+	dir := t.TempDir()
+	gpath := writeCliqueGraph(t, dir, 5)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addrCh := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- runServeCtx(ctx, []string{
+			"-graph", gpath, "-variant", "afforest", "-addr", "127.0.0.1:0", "-trace",
+		}, func(a net.Addr) { addrCh <- a.String() })
+	}()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case err := <-done:
+		t.Fatalf("serve exited before listening: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve never started listening")
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %v / %d", err, resp.StatusCode)
+	}
+	resp.Body.Close()
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("serve returned %v", err)
+	}
+}

@@ -21,8 +21,11 @@
 package equitruss
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"time"
 
 	"equitruss/internal/community"
@@ -33,6 +36,7 @@ import (
 	"equitruss/internal/graphio"
 	"equitruss/internal/metrics"
 	"equitruss/internal/obs"
+	"equitruss/internal/server"
 	"equitruss/internal/triangle"
 	"equitruss/internal/truss"
 )
@@ -304,7 +308,10 @@ func SaveIndex(w io.Writer, sg *SummaryGraph) error {
 }
 
 // LoadIndex reads a summary graph written by SaveIndex and attaches it to
-// its graph as a query-ready Index.
+// its graph as a query-ready Index. ReadBinaryIndex validates every ID
+// range and CSR offset in the stream, so a corrupt or mismatched index is
+// rejected here with a descriptive error instead of panicking at query
+// time.
 func LoadIndex(r io.Reader, g *Graph) (*Index, error) {
 	sg, err := graphio.ReadBinaryIndex(r)
 	if err != nil {
@@ -314,4 +321,61 @@ func LoadIndex(r io.Reader, g *Graph) (*Index, error) {
 		return nil, fmt.Errorf("equitruss: index built for %d edges, graph has %d", len(sg.Tau), g.NumEdges())
 	}
 	return &Index{Index: community.NewIndex(g, sg)}, nil
+}
+
+// ServeOptions configures Serve and NewHandler.
+type ServeOptions struct {
+	// Addr is the listen address for Serve; empty means ":8080".
+	Addr string
+	// CacheSize is the LRU result-cache capacity in entries; 0 selects the
+	// default (4096), negative disables caching.
+	CacheSize int
+	// Workers caps the goroutines concurrently executing queries across all
+	// in-flight requests; <= 0 selects one per usable CPU.
+	Workers int
+	// MaxBatch caps the queries accepted by one POST /batch request; <= 0
+	// selects the default (10000).
+	MaxBatch int
+	// DrainTimeout bounds graceful shutdown: after the context ends,
+	// in-flight requests get this long to finish; <= 0 selects 10s.
+	DrainTimeout time.Duration
+	// Tracer, when non-nil, records one latency span per request. Spans
+	// accumulate unbounded — diagnostic runs only.
+	Tracer *Tracer
+	// OnListen, when non-nil, receives the bound address once the listener
+	// is up (how callers of Addr ":0" learn the port).
+	OnListen func(net.Addr)
+}
+
+// Serve answers community queries from the index over HTTP/JSON until ctx
+// is cancelled, then drains in-flight requests and returns. Endpoints:
+// GET /community?v=&k=, POST /batch, GET /healthz, GET /metrics (Prometheus
+// text, including the LRU cache hit/miss counters). See docs/SERVING.md.
+func Serve(ctx context.Context, ix *Index, opt ServeOptions) error {
+	if ix == nil {
+		return fmt.Errorf("equitruss: nil index")
+	}
+	addr := opt.Addr
+	if addr == "" {
+		addr = ":8080"
+	}
+	s := server.New(ix.Index, server.Config{
+		CacheSize: opt.CacheSize,
+		Workers:   opt.Workers,
+		MaxBatch:  opt.MaxBatch,
+		Tracer:    opt.Tracer,
+	})
+	return s.ListenAndServe(ctx, addr, opt.DrainTimeout, opt.OnListen)
+}
+
+// NewHandler returns the community-query HTTP handler over the index, for
+// embedding into an existing server or mux (Addr, DrainTimeout, and
+// OnListen are ignored).
+func NewHandler(ix *Index, opt ServeOptions) http.Handler {
+	return server.New(ix.Index, server.Config{
+		CacheSize: opt.CacheSize,
+		Workers:   opt.Workers,
+		MaxBatch:  opt.MaxBatch,
+		Tracer:    opt.Tracer,
+	}).Handler()
 }

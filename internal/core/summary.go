@@ -124,6 +124,9 @@ func (sg *SummaryGraph) Validate(g *graph.Graph) error {
 	if int32(len(sg.Tau)) != m || int32(len(sg.EdgeToSN)) != m {
 		return fmt.Errorf("core: index arrays sized %d/%d for %d edges", len(sg.Tau), len(sg.EdgeToSN), m)
 	}
+	if err := sg.ValidateLoaded(); err != nil {
+		return err
+	}
 	s := sg.NumSupernodes()
 	seen := make([]bool, m)
 	for i := int32(0); i < s; i++ {
@@ -161,6 +164,68 @@ func (sg *SummaryGraph) Validate(g *graph.Graph) error {
 				return fmt.Errorf("core: superedge between equal-k supernodes %d and %d (k=%d)", i, nb, sg.K[i])
 			}
 		}
+	}
+	return nil
+}
+
+// ValidateLoaded checks every invariant that can be verified without the
+// original graph: array lengths agree, CSR offsets are monotone and span
+// their payload arrays, and every stored ID is in range. A summary graph
+// deserialized from untrusted bytes must pass this before any query touches
+// it — out-of-range member edge IDs or superedge endpoints would otherwise
+// panic deep inside a traversal instead of failing at load time.
+func (sg *SummaryGraph) ValidateLoaded() error {
+	m := int64(len(sg.Tau))
+	if int64(len(sg.EdgeToSN)) != m {
+		return fmt.Errorf("core: EdgeToSN has %d entries for %d edges", len(sg.EdgeToSN), m)
+	}
+	s := int64(len(sg.K))
+	if int64(len(sg.EdgeOffsets)) != s+1 || int64(len(sg.AdjOffsets)) != s+1 {
+		return fmt.Errorf("core: offset arrays sized %d/%d for %d supernodes",
+			len(sg.EdgeOffsets), len(sg.AdjOffsets), s)
+	}
+	if err := validateCSROffsets("EdgeOffsets", sg.EdgeOffsets, int64(len(sg.EdgeList))); err != nil {
+		return err
+	}
+	if err := validateCSROffsets("AdjOffsets", sg.AdjOffsets, int64(len(sg.Adj))); err != nil {
+		return err
+	}
+	for i, e := range sg.EdgeList {
+		if int64(e) < 0 || int64(e) >= m {
+			return fmt.Errorf("core: EdgeList[%d] = %d outside edge range [0, %d)", i, e, m)
+		}
+	}
+	for i, nb := range sg.Adj {
+		if int64(nb) < 0 || int64(nb) >= s {
+			return fmt.Errorf("core: Adj[%d] = %d outside supernode range [0, %d)", i, nb, s)
+		}
+	}
+	for e, sn := range sg.EdgeToSN {
+		if sn != NoSupernode && (int64(sn) < 0 || int64(sn) >= s) {
+			return fmt.Errorf("core: EdgeToSN[%d] = %d outside supernode range [0, %d)", e, sn, s)
+		}
+	}
+	for i, k := range sg.K {
+		if k < MinK {
+			return fmt.Errorf("core: supernode %d has k=%d < %d", i, k, MinK)
+		}
+	}
+	return nil
+}
+
+// validateCSROffsets checks that an offset array starts at zero, never
+// decreases, and ends exactly at the payload length.
+func validateCSROffsets(name string, off []int64, payload int64) error {
+	if off[0] != 0 {
+		return fmt.Errorf("core: %s[0] = %d, want 0", name, off[0])
+	}
+	for i := 1; i < len(off); i++ {
+		if off[i] < off[i-1] {
+			return fmt.Errorf("core: %s decreases at %d (%d -> %d)", name, i, off[i-1], off[i])
+		}
+	}
+	if last := off[len(off)-1]; last != payload {
+		return fmt.Errorf("core: %s ends at %d, want %d", name, last, payload)
 	}
 	return nil
 }

@@ -4,6 +4,11 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"equitruss/internal/core"
+	"equitruss/internal/gen"
+	"equitruss/internal/triangle"
+	"equitruss/internal/truss"
 )
 
 // FuzzReadEdgeList feeds arbitrary text to the edge-list parser: it must
@@ -36,10 +41,26 @@ func FuzzReadEdgeList(f *testing.F) {
 }
 
 // FuzzReadBinaryIndex throws mutated bytes at the binary index reader: it
-// must reject or succeed without panicking or huge allocations.
+// must reject or succeed without panicking or huge allocations, and any
+// accepted index must be safe to traverse — the reader's structural
+// validation is what stands between untrusted bytes and a panic deep
+// inside a community query.
 func FuzzReadBinaryIndex(f *testing.F) {
 	f.Add([]byte{0x49, 0x54, 0x51, 0x45, 1, 0, 0, 0})
 	f.Add([]byte("garbage"))
+	// Seed with a real serialized index so the mutator explores the
+	// accepted format's neighborhood, not just broken headers.
+	{
+		g := gen.PaperFigure3()
+		sup := triangle.Supports(g, 1)
+		tau, _ := truss.DecomposeSerial(g, sup)
+		sg, _ := core.Build(g, tau, core.VariantCOptimal, 1)
+		var buf bytes.Buffer
+		if err := WriteBinaryIndex(&buf, sg); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// Guard against absurd size prefixes exploding allocations: the
 		// reader validates sizes against negativity; cap input length so
@@ -48,7 +69,34 @@ func FuzzReadBinaryIndex(f *testing.F) {
 			data = data[:1<<16]
 		}
 		sg, err := ReadBinaryIndex(bytes.NewReader(data))
-		_ = sg
-		_ = err
+		if err != nil {
+			return
+		}
+		// Accepted: every traversal a query performs must stay in bounds.
+		for s := int32(0); s < sg.NumSupernodes(); s++ {
+			for _, e := range sg.SupernodeEdges(s) {
+				_ = sg.Tau[e]
+			}
+			for _, nb := range sg.SupernodeNeighbors(s) {
+				_ = sg.K[nb]
+			}
+		}
+		for _, sn := range sg.EdgeToSN {
+			if sn != core.NoSupernode {
+				_ = sg.K[sn]
+			}
+		}
+		// And it must survive a write/read round trip unchanged in shape.
+		var buf bytes.Buffer
+		if err := WriteBinaryIndex(&buf, sg); err != nil {
+			t.Fatalf("write after successful read: %v", err)
+		}
+		sg2, err := ReadBinaryIndex(&buf)
+		if err != nil {
+			t.Fatalf("re-read of written index: %v", err)
+		}
+		if sg2.NumSupernodes() != sg.NumSupernodes() || len(sg2.Tau) != len(sg.Tau) {
+			t.Fatalf("round trip changed shape: %v vs %v", sg2, sg)
+		}
 	})
 }

@@ -42,6 +42,9 @@ func ReadEdgeList(r io.Reader) (*graph.Graph, error) {
 		if err != nil {
 			return nil, fmt.Errorf("graphio: line %d: bad vertex %q: %v", line, fields[1], err)
 		}
+		if u < 0 || v < 0 {
+			return nil, fmt.Errorf("graphio: line %d: negative vertex id in %q", line, text)
+		}
 		edges = append(edges, graph.Edge{U: int32(u), V: int32(v)})
 	}
 	if err := sc.Err(); err != nil {
@@ -96,6 +99,25 @@ const (
 	maxSaneCount = int64(1) << 31
 )
 
+// readSlice reads n fixed-size elements in bounded chunks, so a corrupt
+// header claiming billions of entries makes the read fail when the stream
+// runs dry instead of driving one giant up-front allocation.
+func readSlice[T any](r io.Reader, n int64) ([]T, error) {
+	var zero T
+	elem := int64(binary.Size(zero))
+	chunk := (int64(1) << 22) / elem // ≤ 4 MiB per read
+	out := make([]T, 0, min(n, chunk))
+	for int64(len(out)) < n {
+		c := min(n-int64(len(out)), chunk)
+		buf := make([]T, c)
+		if err := binary.Read(r, binary.LittleEndian, buf); err != nil {
+			return nil, err
+		}
+		out = append(out, buf...)
+	}
+	return out, nil
+}
+
 // WriteBinaryGraph serializes the graph in the compact binary format.
 func WriteBinaryGraph(w io.Writer, g *graph.Graph) error {
 	bw := bufio.NewWriter(w)
@@ -143,8 +165,8 @@ func ReadBinaryGraph(r io.Reader) (*graph.Graph, error) {
 	if n < 0 || m < 0 || n > maxSaneCount || m > maxSaneCount {
 		return nil, fmt.Errorf("graphio: corrupt header n=%d m=%d", n, m)
 	}
-	edges := make([]graph.Edge, m)
-	if err := binary.Read(br, binary.LittleEndian, edges); err != nil {
+	edges, err := readSlice[graph.Edge](br, m)
+	if err != nil {
 		return nil, err
 	}
 	return graph.FromEdgeList(edges, int32(n))
@@ -204,24 +226,35 @@ func ReadBinaryIndex(r io.Reader) (*core.SummaryGraph, error) {
 			return nil, fmt.Errorf("graphio: corrupt index sizes %v", sizes)
 		}
 	}
-	sg := &core.SummaryGraph{
-		Tau:         make([]int32, m),
-		EdgeToSN:    make([]int32, m),
-		K:           make([]int32, s),
-		EdgeList:    make([]int32, el),
-		Adj:         make([]int32, al),
-		EdgeOffsets: make([]int64, s+1),
-		AdjOffsets:  make([]int64, s+1),
+	sg := &core.SummaryGraph{}
+	var err error
+	if sg.Tau, err = readSlice[int32](br, m); err != nil {
+		return nil, err
 	}
-	for _, arr := range [][]int32{sg.Tau, sg.EdgeToSN, sg.K, sg.EdgeList, sg.Adj} {
-		if err := binary.Read(br, binary.LittleEndian, arr); err != nil {
-			return nil, err
-		}
+	if sg.EdgeToSN, err = readSlice[int32](br, m); err != nil {
+		return nil, err
 	}
-	for _, arr := range [][]int64{sg.EdgeOffsets, sg.AdjOffsets} {
-		if err := binary.Read(br, binary.LittleEndian, arr); err != nil {
-			return nil, err
-		}
+	if sg.K, err = readSlice[int32](br, s); err != nil {
+		return nil, err
+	}
+	if sg.EdgeList, err = readSlice[int32](br, el); err != nil {
+		return nil, err
+	}
+	if sg.Adj, err = readSlice[int32](br, al); err != nil {
+		return nil, err
+	}
+	if sg.EdgeOffsets, err = readSlice[int64](br, s+1); err != nil {
+		return nil, err
+	}
+	if sg.AdjOffsets, err = readSlice[int64](br, s+1); err != nil {
+		return nil, err
+	}
+	// The stream decoded, but nothing above guarantees the IDs inside make
+	// sense: a corrupt or mismatched index with out-of-range member edges,
+	// superedge endpoints, or broken CSR offsets would panic at query time.
+	// Reject it here with a descriptive error instead.
+	if err := sg.ValidateLoaded(); err != nil {
+		return nil, fmt.Errorf("graphio: corrupt index: %w", err)
 	}
 	return sg, nil
 }

@@ -41,11 +41,25 @@ func TestReadEdgeListErrors(t *testing.T) {
 		"a b\n",              // non-numeric u
 		"0 b\n",              // non-numeric v
 		"0 99999999999999\n", // overflow
+		"-1 5\n",             // negative u
+		"5 -1\n",             // negative v
 	}
 	for _, in := range cases {
 		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
 			t.Errorf("input %q accepted", in)
 		}
+	}
+}
+
+func TestReadEdgeListNegativeVertexNamesLine(t *testing.T) {
+	// The error must point at the offending line like the other parse
+	// errors, not surface later from deep inside the CSR builder.
+	_, err := ReadEdgeList(strings.NewReader("0 1\n1 2\n2 -7\n"))
+	if err == nil {
+		t.Fatal("negative vertex accepted")
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("error %q does not name line 3", err)
 	}
 }
 
@@ -153,6 +167,66 @@ func TestBinaryIndexBadInput(t *testing.T) {
 	}
 	if _, err := ReadBinaryIndex(&buf); err == nil {
 		t.Fatal("graph blob accepted as index")
+	}
+}
+
+// TestBinaryIndexCorruptIDs serializes structurally broken summary graphs
+// (the writer emits whatever it is handed) and checks the reader rejects
+// each with a descriptive error instead of handing queries a live grenade.
+func TestBinaryIndexCorruptIDs(t *testing.T) {
+	base := func() *core.SummaryGraph {
+		g := gen.Clique(5)
+		sup := triangle.Supports(g, 1)
+		tau, _ := truss.DecomposeSerial(g, sup)
+		sg, _ := core.Build(g, tau, core.VariantCOptimal, 1)
+		return sg
+	}
+	cases := []struct {
+		name    string
+		corrupt func(sg *core.SummaryGraph)
+	}{
+		{"edgelist out of range", func(sg *core.SummaryGraph) {
+			sg.EdgeList[0] = int32(len(sg.Tau)) + 5
+		}},
+		{"edgelist negative", func(sg *core.SummaryGraph) {
+			sg.EdgeList[0] = -2
+		}},
+		{"adj out of range", func(sg *core.SummaryGraph) {
+			sg.Adj = append(sg.Adj, sg.NumSupernodes()+3)
+			sg.AdjOffsets[len(sg.AdjOffsets)-1]++
+		}},
+		{"edgetosn out of range", func(sg *core.SummaryGraph) {
+			sg.EdgeToSN[0] = sg.NumSupernodes() + 1
+		}},
+		{"edge offsets decrease", func(sg *core.SummaryGraph) {
+			sg.EdgeOffsets[1] = -1
+		}},
+		{"edge offsets overrun payload", func(sg *core.SummaryGraph) {
+			sg.EdgeOffsets[len(sg.EdgeOffsets)-1] += 4
+		}},
+		{"adj offsets start nonzero", func(sg *core.SummaryGraph) {
+			for i := range sg.AdjOffsets {
+				sg.AdjOffsets[i]++
+			}
+		}},
+		{"supernode k below minimum", func(sg *core.SummaryGraph) {
+			sg.K[0] = 1
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			sg := base()
+			c.corrupt(sg)
+			var buf bytes.Buffer
+			if err := WriteBinaryIndex(&buf, sg); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := ReadBinaryIndex(&buf); err == nil {
+				t.Fatalf("corrupt index (%s) accepted", c.name)
+			} else if !strings.Contains(err.Error(), "corrupt index") {
+				t.Fatalf("error %q not descriptive", err)
+			}
+		})
 	}
 }
 

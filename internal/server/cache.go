@@ -1,0 +1,97 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"equitruss/internal/community"
+	"equitruss/internal/obs"
+)
+
+var (
+	cCacheHits = obs.GetCounter("server_cache_hits",
+		"community query results served from the LRU cache")
+	cCacheMisses = obs.GetCounter("server_cache_misses",
+		"community queries that missed the LRU cache")
+	cCacheEvictions = obs.GetCounter("server_cache_evictions",
+		"LRU cache entries evicted to make room")
+)
+
+type cacheKey struct{ v, k int32 }
+
+type cacheEntry struct {
+	key cacheKey
+	val []*community.Community
+}
+
+// Cache is a mutex-guarded LRU of community query results keyed by
+// (vertex, k). Cached values are the immutable slices returned by the index
+// query path, shared between entries and responses without copying. A nil
+// *Cache disables caching: Get always misses and Put is a no-op, neither
+// touching the hit/miss counters.
+type Cache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List
+	items map[cacheKey]*list.Element
+}
+
+// NewCache returns an LRU holding up to capacity entries, or nil (caching
+// disabled) when capacity <= 0.
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &Cache{cap: capacity, ll: list.New(), items: make(map[cacheKey]*list.Element, capacity)}
+}
+
+// Get returns the cached result for (v, k), bumping its recency. The second
+// return distinguishes a cached empty result from a miss.
+func (c *Cache) Get(v, k int32) ([]*community.Community, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[cacheKey{v, k}]
+	if !ok {
+		cCacheMisses.Inc()
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	cCacheHits.Inc()
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Put stores the result for (v, k), evicting the least recently used entry
+// when full.
+func (c *Cache) Put(v, k int32, val []*community.Community) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := cacheKey{v, k}
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).val = val
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+		cCacheEvictions.Inc()
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,71 @@
+package server
+
+import (
+	"context"
+
+	"equitruss/internal/concur"
+	"equitruss/internal/obs"
+)
+
+var (
+	cPoolReservations = obs.GetCounter("server_pool_reservations",
+		"slot reservations granted by the query worker pool")
+	cPoolRejections = obs.GetCounter("server_pool_rejections",
+		"reservations abandoned because the request context ended while waiting for a slot")
+)
+
+// Pool bounds the number of goroutines concurrently executing community
+// queries across all in-flight HTTP requests. Handlers reserve slots before
+// computing and hand the grant to the batch scheduler as its thread count,
+// so a burst of 10k-query batches degrades to queueing instead of spawning
+// an unbounded goroutine flood.
+type Pool struct {
+	slots chan struct{}
+}
+
+// NewPool returns a pool with the given number of slots; workers <= 0
+// selects one slot per usable CPU.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = concur.MaxThreads()
+	}
+	return &Pool{slots: make(chan struct{}, workers)}
+}
+
+// Cap returns the pool's slot count.
+func (p *Pool) Cap() int { return cap(p.slots) }
+
+// Reserve blocks until at least one slot is free (or ctx ends), then
+// greedily takes up to want slots without further blocking and returns the
+// number taken (>= 1). A caller never blocks while holding slots, so
+// concurrent batches cannot deadlock against each other.
+func (p *Pool) Reserve(ctx context.Context, want int) (int, error) {
+	if want < 1 {
+		want = 1
+	}
+	select {
+	case p.slots <- struct{}{}:
+	case <-ctx.Done():
+		cPoolRejections.Inc()
+		return 0, ctx.Err()
+	}
+	got := 1
+	for got < want {
+		select {
+		case p.slots <- struct{}{}:
+			got++
+		default:
+			cPoolReservations.Add(int64(got))
+			return got, nil
+		}
+	}
+	cPoolReservations.Add(int64(got))
+	return got, nil
+}
+
+// Release returns n previously reserved slots.
+func (p *Pool) Release(n int) {
+	for i := 0; i < n; i++ {
+		<-p.slots
+	}
+}

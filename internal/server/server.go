@@ -1,0 +1,345 @@
+// Package server turns a built EquiTruss index into a concurrent HTTP/JSON
+// community-query service — the serving shape the paper's fast index
+// construction exists for: build (or load) once, then answer many
+// personalized community lookups against the immutable summary graph.
+//
+// Endpoints:
+//
+//	GET  /community?v=<vertex>&k=<level>[&edges=1]  one community query
+//	POST /batch                                     many queries, fanned out
+//	GET  /healthz                                   liveness + index shape
+//	GET  /metrics                                   Prometheus text exposition
+//
+// Three pieces make it safe under load: an LRU cache keyed by (vertex, k)
+// with hit/miss counters in the obs registry, a bounded worker pool so a
+// batch of 10k queries degrades to queueing rather than a goroutine flood,
+// and graceful shutdown that drains in-flight requests with a timeout.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"equitruss/internal/community"
+	"equitruss/internal/obs"
+)
+
+var (
+	cCommunityRequests = obs.GetCounter("server_community_requests",
+		"GET /community requests served")
+	cBatchRequests = obs.GetCounter("server_batch_requests",
+		"POST /batch requests served")
+	cBatchQueries = obs.GetCounter("server_batch_queries",
+		"individual queries answered inside /batch requests")
+	cRequestErrors = obs.GetCounter("server_request_errors",
+		"requests rejected with a 4xx/5xx status")
+	cLatencyNS = obs.GetCounter("server_request_latency_ns",
+		"cumulative wall nanoseconds spent serving /community and /batch requests")
+)
+
+// Config tunes a Server. The zero value picks sensible defaults.
+type Config struct {
+	// CacheSize is the LRU capacity in entries; 0 selects the default
+	// (4096), negative disables caching.
+	CacheSize int
+	// Workers caps the goroutines concurrently executing queries across all
+	// requests; <= 0 selects one per usable CPU.
+	Workers int
+	// MaxBatch caps the queries accepted by one /batch request; <= 0
+	// selects the default (10000). Larger bodies get 413.
+	MaxBatch int
+	// Tracer, when non-nil, records one span per /community and /batch
+	// request (items = queries answered). Spans accumulate unbounded, so
+	// tracing is for diagnostic runs, not steady-state serving.
+	Tracer *obs.Trace
+}
+
+const (
+	defaultCacheSize = 4096
+	defaultMaxBatch  = 10000
+)
+
+// Server answers community queries from one immutable index.
+type Server struct {
+	idx      *community.Index
+	cache    *Cache
+	pool     *Pool
+	tr       *obs.Trace
+	maxBatch int
+	mux      *http.ServeMux
+
+	// testHook, when set, runs inside every query computation — tests use
+	// it to hold requests open across a shutdown.
+	testHook func()
+}
+
+// New builds a Server over a query-ready index.
+func New(idx *community.Index, cfg Config) *Server {
+	cacheSize := cfg.CacheSize
+	if cacheSize == 0 {
+		cacheSize = defaultCacheSize
+	}
+	maxBatch := cfg.MaxBatch
+	if maxBatch <= 0 {
+		maxBatch = defaultMaxBatch
+	}
+	s := &Server{
+		idx:      idx,
+		cache:    NewCache(cacheSize),
+		pool:     NewPool(cfg.Workers),
+		tr:       cfg.Tracer,
+		maxBatch: maxBatch,
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/community", s.handleCommunity)
+	s.mux.HandleFunc("/batch", s.handleBatch)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the server's HTTP handler for embedding into an existing
+// mux or an httptest server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ListenAndServe serves on addr until ctx is cancelled, then shuts down
+// gracefully: the listener closes, in-flight requests drain for up to the
+// drain timeout, and only then does the call return. onListen (optional)
+// receives the bound address — how callers learn the port of ":0".
+func (s *Server) ListenAndServe(ctx context.Context, addr string, drain time.Duration, onListen func(net.Addr)) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if onListen != nil {
+		onListen(ln.Addr())
+	}
+	hs := &http.Server{Handler: s.mux}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	if drain <= 0 {
+		drain = 10 * time.Second
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	err = hs.Shutdown(sctx)
+	if serr := <-errc; serr != nil && !errors.Is(serr, http.ErrServerClosed) && err == nil {
+		err = serr
+	}
+	return err
+}
+
+// communityDoc is one community in a JSON response.
+type communityDoc struct {
+	K        int32   `json:"k"`
+	Size     int     `json:"size"`
+	NumEdges int     `json:"num_edges"`
+	Vertices []int32 `json:"vertices"`
+	Edges    []int32 `json:"edges,omitempty"`
+}
+
+// queryDoc is the answer to one (vertex, k) lookup.
+type queryDoc struct {
+	Vertex      int32          `json:"vertex"`
+	K           int32          `json:"k"`
+	Count       int            `json:"count"`
+	Cached      bool           `json:"cached"`
+	Communities []communityDoc `json:"communities"`
+}
+
+func renderQuery(v, k int32, cs []*community.Community, cached, withEdges bool) queryDoc {
+	doc := queryDoc{Vertex: v, K: k, Count: len(cs), Cached: cached, Communities: make([]communityDoc, len(cs))}
+	for i, c := range cs {
+		verts := c.Vertices()
+		cd := communityDoc{K: c.K, Size: len(verts), NumEdges: len(c.Edges), Vertices: verts}
+		if withEdges {
+			cd.Edges = c.Edges
+		}
+		doc.Communities[i] = cd
+	}
+	return doc
+}
+
+// lookup answers one query through the cache, computing (and caching) on a
+// miss under a reserved pool slot.
+func (s *Server) lookup(ctx context.Context, v, k int32) ([]*community.Community, bool, error) {
+	if cs, ok := s.cache.Get(v, k); ok {
+		return cs, true, nil
+	}
+	got, err := s.pool.Reserve(ctx, 1)
+	if err != nil {
+		return nil, false, err
+	}
+	defer s.pool.Release(got)
+	if s.testHook != nil {
+		s.testHook()
+	}
+	cs := s.idx.Communities(v, k)
+	s.cache.Put(v, k, cs)
+	return cs, false, nil
+}
+
+func (s *Server) handleCommunity(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	span := s.tr.Start("HTTP /community")
+	start := time.Now()
+	cCommunityRequests.Inc()
+	v, err := parseInt32(r.URL.Query().Get("v"))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "bad v: %v", err)
+		return
+	}
+	k, err := parseInt32(r.URL.Query().Get("k"))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "bad k: %v", err)
+		return
+	}
+	if v < 0 || v >= s.idx.G.NumVertices() {
+		s.fail(w, http.StatusBadRequest, "vertex %d outside [0, %d)", v, s.idx.G.NumVertices())
+		return
+	}
+	cs, cached, err := s.lookup(r.Context(), v, k)
+	if err != nil {
+		s.fail(w, http.StatusServiceUnavailable, "query aborted: %v", err)
+		return
+	}
+	withEdges := r.URL.Query().Get("edges") != ""
+	writeJSON(w, http.StatusOK, renderQuery(v, k, cs, cached, withEdges))
+	cLatencyNS.Add(time.Since(start).Nanoseconds())
+	span.EndItems(1)
+}
+
+// batchRequest is the POST /batch body.
+type batchRequest struct {
+	Queries []struct {
+		V int32 `json:"v"`
+		K int32 `json:"k"`
+	} `json:"queries"`
+	Edges bool `json:"edges,omitempty"`
+}
+
+type batchResponse struct {
+	Results []queryDoc `json:"results"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	span := s.tr.Start("HTTP /batch")
+	start := time.Now()
+	cBatchRequests.Inc()
+	var req batchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, "bad body: %v", err)
+		return
+	}
+	if len(req.Queries) == 0 {
+		s.fail(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(req.Queries) > s.maxBatch {
+		s.fail(w, http.StatusRequestEntityTooLarge, "batch of %d exceeds limit %d", len(req.Queries), s.maxBatch)
+		return
+	}
+	n := s.idx.G.NumVertices()
+	for i, q := range req.Queries {
+		if q.V < 0 || q.V >= n {
+			s.fail(w, http.StatusBadRequest, "query %d: vertex %d outside [0, %d)", i, q.V, n)
+			return
+		}
+	}
+	// Resolve cache hits first, then fan the misses out through
+	// BatchCommunities with parallelism granted by the pool.
+	results := make([][]*community.Community, len(req.Queries))
+	cached := make([]bool, len(req.Queries))
+	var missIdx []int
+	var missQ []community.Query
+	for i, q := range req.Queries {
+		if cs, ok := s.cache.Get(q.V, q.K); ok {
+			results[i] = cs
+			cached[i] = true
+			continue
+		}
+		missIdx = append(missIdx, i)
+		missQ = append(missQ, community.Query{Vertex: q.V, K: q.K})
+	}
+	if len(missQ) > 0 {
+		got, err := s.pool.Reserve(r.Context(), len(missQ))
+		if err != nil {
+			s.fail(w, http.StatusServiceUnavailable, "batch aborted: %v", err)
+			return
+		}
+		if s.testHook != nil {
+			s.testHook()
+		}
+		out := s.idx.BatchCommunities(missQ, got)
+		s.pool.Release(got)
+		for j, i := range missIdx {
+			results[i] = out[j]
+			s.cache.Put(missQ[j].Vertex, missQ[j].K, out[j])
+		}
+	}
+	resp := batchResponse{Results: make([]queryDoc, len(req.Queries))}
+	for i, q := range req.Queries {
+		resp.Results[i] = renderQuery(q.V, q.K, results[i], cached[i], req.Edges)
+	}
+	writeJSON(w, http.StatusOK, resp)
+	cBatchQueries.Add(int64(len(req.Queries)))
+	cLatencyNS.Add(time.Since(start).Nanoseconds())
+	span.EndItems(int64(len(req.Queries)))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":     "ok",
+		"vertices":   s.idx.G.NumVertices(),
+		"edges":      s.idx.G.NumEdges(),
+		"supernodes": s.idx.SG.NumSupernodes(),
+		"superedges": s.idx.SG.NumSuperedges(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := obs.WritePrometheus(w, obs.DefaultRegistry(), s.tr); err != nil {
+		cRequestErrors.Inc()
+	}
+}
+
+func (s *Server) fail(w http.ResponseWriter, status int, format string, args ...any) {
+	cRequestErrors.Inc()
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, status int, doc any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(doc)
+}
+
+func parseInt32(s string) (int32, error) {
+	if s == "" {
+		return 0, fmt.Errorf("missing parameter")
+	}
+	v, err := strconv.ParseInt(s, 10, 32)
+	if err != nil {
+		return 0, err
+	}
+	return int32(v), nil
+}

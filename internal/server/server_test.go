@@ -1,0 +1,343 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"equitruss/internal/community"
+	"equitruss/internal/core"
+	"equitruss/internal/gen"
+	"equitruss/internal/triangle"
+	"equitruss/internal/truss"
+)
+
+// buildTestIndex runs the full pipeline over a small synthetic graph and
+// returns the query-ready index plus the trussness array for the direct
+// oracle.
+func buildTestIndex(t testing.TB) (*community.Index, []int32) {
+	t.Helper()
+	g := gen.RMAT(8, 6, 0.57, 0.19, 0.19, 42)
+	sup := triangle.Supports(g, 0)
+	tau, _ := truss.DecomposeSerial(g, sup)
+	sg, _ := core.BuildTraced(g, tau, core.VariantCOptimal, 0, nil)
+	return community.NewIndex(g, sg), tau
+}
+
+func getJSON(t *testing.T, ts *httptest.Server, path string, out any) *http.Response {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: decode: %v", path, err)
+		}
+	}
+	return resp
+}
+
+func TestCommunityEndpointMatchesOracle(t *testing.T) {
+	idx, tau := buildTestIndex(t)
+	ts := httptest.NewServer(New(idx, Config{}).Handler())
+	defer ts.Close()
+	checked := 0
+	for v := int32(0); v < idx.G.NumVertices() && checked < 40; v++ {
+		for _, k := range []int32{3, 4, 5} {
+			want := community.DirectCommunities(idx.G, tau, v, k)
+			var doc queryDoc
+			resp := getJSON(t, ts, fmt.Sprintf("/community?v=%d&k=%d&edges=1", v, k), &doc)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("v=%d k=%d: status %d", v, k, resp.StatusCode)
+			}
+			if doc.Count != len(want) {
+				t.Fatalf("v=%d k=%d: %d communities, oracle has %d", v, k, doc.Count, len(want))
+			}
+			community.CanonicalizeCommunities(want)
+			for i, c := range doc.Communities {
+				if fmt.Sprint(c.Edges) != fmt.Sprint(want[i].Edges) {
+					t.Fatalf("v=%d k=%d community %d: edges %v, oracle %v", v, k, i, c.Edges, want[i].Edges)
+				}
+				if c.Size != len(want[i].Vertices()) {
+					t.Fatalf("v=%d k=%d community %d: size %d, oracle %d", v, k, i, c.Size, len(want[i].Vertices()))
+				}
+			}
+			if len(want) > 0 {
+				checked++
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no vertex with communities checked — graph too sparse for the test")
+	}
+}
+
+func TestCommunityEndpointCachedFlag(t *testing.T) {
+	idx, _ := buildTestIndex(t)
+	ts := httptest.NewServer(New(idx, Config{}).Handler())
+	defer ts.Close()
+	var first, second queryDoc
+	getJSON(t, ts, "/community?v=1&k=3", &first)
+	getJSON(t, ts, "/community?v=1&k=3", &second)
+	if first.Cached {
+		t.Fatal("first lookup reported cached")
+	}
+	if !second.Cached {
+		t.Fatal("second identical lookup not served from cache")
+	}
+}
+
+func TestCommunityEndpointErrors(t *testing.T) {
+	idx, _ := buildTestIndex(t)
+	ts := httptest.NewServer(New(idx, Config{}).Handler())
+	defer ts.Close()
+	cases := []struct {
+		path string
+		want int
+	}{
+		{"/community", http.StatusBadRequest},                // no params
+		{"/community?v=abc&k=3", http.StatusBadRequest},      // bad vertex
+		{"/community?v=1&k=xyz", http.StatusBadRequest},      // bad k
+		{"/community?v=-1&k=3", http.StatusBadRequest},       // negative vertex
+		{"/community?v=99999999&k=3", http.StatusBadRequest}, // out of range
+		{"/nosuchpath", http.StatusNotFound},
+	}
+	for _, c := range cases {
+		resp := getJSON(t, ts, c.path, nil)
+		if resp.StatusCode != c.want {
+			t.Errorf("%s: status %d, want %d", c.path, resp.StatusCode, c.want)
+		}
+	}
+	resp, err := ts.Client().Post(ts.URL+"/community", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /community: status %d, want 405", resp.StatusCode)
+	}
+}
+
+func postBatch(t *testing.T, ts *httptest.Server, body string) (*http.Response, batchResponse) {
+	t.Helper()
+	resp, err := ts.Client().Post(ts.URL+"/batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out batchResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("batch decode: %v", err)
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	return resp, out
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	idx, _ := buildTestIndex(t)
+	ts := httptest.NewServer(New(idx, Config{Workers: 4}).Handler())
+	defer ts.Close()
+	// Duplicates included: the second occurrence may be answered from cache,
+	// but results must align with the request order either way.
+	body := `{"queries":[{"v":0,"k":3},{"v":1,"k":3},{"v":0,"k":3},{"v":2,"k":4}]}`
+	resp, out := postBatch(t, ts, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d", resp.StatusCode)
+	}
+	if len(out.Results) != 4 {
+		t.Fatalf("batch results = %d, want 4", len(out.Results))
+	}
+	for i, want := range []struct{ v, k int32 }{{0, 3}, {1, 3}, {0, 3}, {2, 4}} {
+		r := out.Results[i]
+		if r.Vertex != want.v || r.K != want.k {
+			t.Fatalf("result %d is (%d,%d), want (%d,%d)", i, r.Vertex, r.K, want.v, want.k)
+		}
+		if r.Count != len(idx.Communities(want.v, want.k)) {
+			t.Fatalf("result %d count %d disagrees with direct index query", i, r.Count)
+		}
+	}
+}
+
+func TestBatchEndpointErrors(t *testing.T) {
+	idx, _ := buildTestIndex(t)
+	ts := httptest.NewServer(New(idx, Config{MaxBatch: 3}).Handler())
+	defer ts.Close()
+	if resp, _ := postBatch(t, ts, `{"queries":[]}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty batch: status %d", resp.StatusCode)
+	}
+	if resp, _ := postBatch(t, ts, `not json`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad body: status %d", resp.StatusCode)
+	}
+	if resp, _ := postBatch(t, ts, `{"queries":[{"v":-1,"k":3}]}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("negative vertex: status %d", resp.StatusCode)
+	}
+	over := `{"queries":[{"v":0,"k":3},{"v":1,"k":3},{"v":2,"k":3},{"v":3,"k":3}]}`
+	if resp, _ := postBatch(t, ts, over); resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized batch: status %d", resp.StatusCode)
+	}
+	resp := getJSON(t, ts, "/batch", nil)
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /batch: status %d", resp.StatusCode)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	idx, _ := buildTestIndex(t)
+	ts := httptest.NewServer(New(idx, Config{}).Handler())
+	defer ts.Close()
+	var doc struct {
+		Status     string `json:"status"`
+		Vertices   int64  `json:"vertices"`
+		Edges      int64  `json:"edges"`
+		Supernodes int64  `json:"supernodes"`
+	}
+	resp := getJSON(t, ts, "/healthz", &doc)
+	if resp.StatusCode != http.StatusOK || doc.Status != "ok" {
+		t.Fatalf("healthz: status %d, doc %+v", resp.StatusCode, doc)
+	}
+	if doc.Vertices != int64(idx.G.NumVertices()) || doc.Edges != idx.G.NumEdges() {
+		t.Fatalf("healthz shape %+v disagrees with index", doc)
+	}
+}
+
+func TestMetricsExposeCacheCounters(t *testing.T) {
+	idx, _ := buildTestIndex(t)
+	ts := httptest.NewServer(New(idx, Config{}).Handler())
+	defer ts.Close()
+	getJSON(t, ts, "/community?v=3&k=3", nil) // miss
+	getJSON(t, ts, "/community?v=3&k=3", nil) // hit
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	io.Copy(&buf, resp.Body)
+	body := buf.String()
+	for _, want := range []string{
+		"equitruss_server_cache_hits_total",
+		"equitruss_server_cache_misses_total",
+		"equitruss_server_community_requests_total",
+		"equitruss_server_request_latency_ns_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	put := func(v int32) { c.Put(v, 3, nil) }
+	put(1)
+	put(2)
+	if _, ok := c.Get(1, 3); !ok {
+		t.Fatal("entry 1 missing before eviction")
+	}
+	put(3) // evicts 2 (1 was just touched)
+	if _, ok := c.Get(2, 3); ok {
+		t.Fatal("entry 2 survived eviction")
+	}
+	if _, ok := c.Get(1, 3); !ok {
+		t.Fatal("recently used entry 1 evicted")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("cache len %d, want 2", c.Len())
+	}
+	// A disabled cache is a nil *Cache with no-op methods.
+	var nilCache *Cache = NewCache(-1)
+	nilCache.Put(1, 3, nil)
+	if _, ok := nilCache.Get(1, 3); ok {
+		t.Fatal("disabled cache returned a hit")
+	}
+	if nilCache.Len() != 0 {
+		t.Fatal("disabled cache has entries")
+	}
+}
+
+func TestPoolReserve(t *testing.T) {
+	p := NewPool(4)
+	// An uncontended over-ask greedily takes every slot, never more.
+	got, err := p.Reserve(context.Background(), 10)
+	if err != nil || got != 4 {
+		t.Fatalf("Reserve(10) = %d, %v; want all 4 slots", got, err)
+	}
+	// With all slots held, a waiter must respect context expiry.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := p.Reserve(ctx, 1); err == nil {
+		t.Fatal("Reserve succeeded on a full pool with an expiring context")
+	}
+	p.Release(1)
+	// One free slot: a big ask gets exactly the one available (no blocking
+	// for the rest — that is what makes concurrent batches deadlock-free).
+	if n, err := p.Reserve(context.Background(), 8); err != nil || n != 1 {
+		t.Fatalf("Reserve on one-free pool = %d, %v; want 1", n, err)
+	}
+	p.Release(4)
+}
+
+func TestGracefulShutdownDrainsInflight(t *testing.T) {
+	idx, _ := buildTestIndex(t)
+	s := New(idx, Config{})
+	inHandler := make(chan struct{}, 1)
+	release := make(chan struct{})
+	s.testHook = func() {
+		select {
+		case inHandler <- struct{}{}:
+		default:
+		}
+		<-release
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	addrCh := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- s.ListenAndServe(ctx, "127.0.0.1:0", 5*time.Second, func(a net.Addr) {
+			addrCh <- a.String()
+		})
+	}()
+	addr := <-addrCh
+	reqDone := make(chan int, 1)
+	go func() {
+		resp, err := http.Get("http://" + addr + "/community?v=0&k=3")
+		if err != nil {
+			reqDone <- -1
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		reqDone <- resp.StatusCode
+	}()
+	<-inHandler // request is inside the handler, blocked on the hook
+	cancel()    // begin graceful shutdown while the request is in flight
+	select {
+	case err := <-done:
+		t.Fatalf("server returned (%v) before draining the in-flight request", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	close(release)
+	if code := <-reqDone; code != http.StatusOK {
+		t.Fatalf("in-flight request finished with %d during drain", code)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("graceful shutdown returned %v", err)
+	}
+	// The listener must be closed now.
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Fatal("server still accepting connections after shutdown")
+	}
+}

@@ -1,0 +1,106 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestServerSmokeConcurrent hammers one handler with 64 concurrent clients
+// mixing cached and uncached single queries with periodic batches — the
+// `make serversmoke` target runs it under -race so the LRU cache, the
+// worker pool, and the shared index traversals are exercised for data
+// races, and every response is cross-checked against a pre-computed oracle.
+func TestServerSmokeConcurrent(t *testing.T) {
+	idx, _ := buildTestIndex(t)
+	// Small cache + small pool force constant eviction and slot contention.
+	ts := httptest.NewServer(New(idx, Config{CacheSize: 32, Workers: 4}).Handler())
+	defer ts.Close()
+
+	n := idx.G.NumVertices()
+	const clients = 64
+	const perClient = 25
+	// Oracle: expected community count per (v, k), computed single-threaded
+	// before the storm.
+	type vk struct{ v, k int32 }
+	oracle := make(map[vk]int)
+	for v := int32(0); v < 40 && v < n; v++ {
+		for _, k := range []int32{3, 4} {
+			oracle[vk{v, k}] = len(idx.Communities(v, k))
+		}
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := ts.Client()
+			for i := 0; i < perClient; i++ {
+				// Mix: mostly singles over a small vertex range (cache
+				// hits), every 5th request a batch (pool fan-out), every
+				// 7th an uncached-leaning vertex.
+				v := int32((c*7 + i) % 40)
+				if v >= n {
+					v = 0
+				}
+				k := int32(3 + (c+i)%2)
+				switch {
+				case i%5 == 0:
+					body := fmt.Sprintf(`{"queries":[{"v":%d,"k":%d},{"v":%d,"k":%d}]}`, v, k, (v+1)%40, k)
+					resp, err := client.Post(ts.URL+"/batch", "application/json", strings.NewReader(body))
+					if err != nil {
+						errc <- err
+						return
+					}
+					var out batchResponse
+					err = json.NewDecoder(resp.Body).Decode(&out)
+					resp.Body.Close()
+					if err != nil || resp.StatusCode != http.StatusOK || len(out.Results) != 2 {
+						errc <- fmt.Errorf("batch: status %d, %d results, err %v", resp.StatusCode, len(out.Results), err)
+						return
+					}
+					for _, r := range out.Results {
+						if want, ok := oracle[vk{r.Vertex, r.K}]; ok && r.Count != want {
+							errc <- fmt.Errorf("batch (%d,%d): count %d, want %d", r.Vertex, r.K, r.Count, want)
+							return
+						}
+					}
+				default:
+					resp, err := client.Get(fmt.Sprintf("%s/community?v=%d&k=%d", ts.URL, v, k))
+					if err != nil {
+						errc <- err
+						return
+					}
+					var doc queryDoc
+					err = json.NewDecoder(resp.Body).Decode(&doc)
+					resp.Body.Close()
+					if err != nil || resp.StatusCode != http.StatusOK {
+						errc <- fmt.Errorf("single (%d,%d): status %d, err %v", v, k, resp.StatusCode, err)
+						return
+					}
+					if want, ok := oracle[vk{v, k}]; ok && doc.Count != want {
+						errc <- fmt.Errorf("single (%d,%d): count %d, want %d", v, k, doc.Count, want)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	if cCacheHits.Value() == 0 {
+		t.Error("smoke storm produced no cache hits")
+	}
+	if cCacheMisses.Value() == 0 {
+		t.Error("smoke storm produced no cache misses")
+	}
+}

@@ -1,6 +1,7 @@
 package truss
 
 import (
+	"math"
 	"sync/atomic"
 
 	"equitruss/internal/concur"
@@ -21,6 +22,8 @@ var (
 		"atomic support decrements applied by the parallel peeling")
 	cPeelCaptures = obs.GetCounter("truss_frontier_captures",
 		"edges captured into a peel frontier on a support-level transition")
+	cPeelLevelSkips = obs.GetCounter("truss_peel_level_skips",
+		"empty support levels skipped by jumping to the minimum surviving support")
 )
 
 // DecomposeParallel is the level-synchronous parallel peeling: at peel
@@ -60,8 +63,18 @@ func DecomposeParallelT(g *graph.Graph, supports []int32, threads int, tr *obs.T
 
 	for remaining > 0 {
 		cPeelLevels.Inc()
-		// Collect the initial frontier for this level.
-		curr := collectFrontier(sup, deleted, level, threads, tr)
+		// Collect the initial frontier for this level, learning the minimum
+		// surviving support in the same pass.
+		curr, minAlive := collectFrontier(sup, deleted, level, threads, tr)
+		if len(curr) == 0 {
+			// No alive edge at or below this level: jump straight to the
+			// lowest surviving support instead of rescanning once per empty
+			// level (the PKT skip-to-next-live-value discipline). minAlive >
+			// level here because remaining > 0 guarantees alive edges exist.
+			cPeelLevelSkips.Add(int64(minAlive - level))
+			level = minAlive
+			continue
+		}
 		for len(curr) > 0 {
 			cPeelSubrounds.Inc()
 			n := len(curr)
@@ -138,24 +151,38 @@ func decCapture(sup []int32, e, level int32, next []int32, decs *int64) []int32 
 }
 
 // collectFrontier gathers all alive edges with support <= level using
-// per-thread buffers.
-func collectFrontier(sup []int32, deleted *ds.Bitset, level int32, threads int, tr *obs.Trace) []int32 {
+// per-thread buffers. It also returns the minimum support among the alive
+// edges left out of the frontier (math.MaxInt32 when none remain) so the
+// caller can jump over empty levels without another scan.
+func collectFrontier(sup []int32, deleted *ds.Bitset, level int32, threads int, tr *obs.Trace) ([]int32, int32) {
 	m := len(sup)
 	bufs := make([][]int32, threads)
+	mins := make([]int32, threads)
 	concur.ForThreadsT(tr, "TrussDecomp", threads, func(tid int) {
 		lo := tid * m / threads
 		hi := (tid + 1) * m / threads
 		var buf []int32
+		min := int32(math.MaxInt32)
 		for e := lo; e < hi; e++ {
-			if !deleted.Get(e) && sup[e] <= level {
+			if deleted.Get(e) {
+				continue
+			}
+			if s := sup[e]; s <= level {
 				buf = append(buf, int32(e))
+			} else if s < min {
+				min = s
 			}
 		}
 		bufs[tid] = buf
+		mins[tid] = min
 	})
 	var out []int32
-	for _, b := range bufs {
+	minAlive := int32(math.MaxInt32)
+	for t, b := range bufs {
 		out = append(out, b...)
+		if mins[t] < minAlive {
+			minAlive = mins[t]
+		}
 	}
-	return out
+	return out, minAlive
 }

@@ -154,6 +154,46 @@ func TestParallelMatchesSerialOnStructuredGraphs(t *testing.T) {
 	}
 }
 
+// TestParallelLevelSkip peels a triangle next to a K16: supports are 1 and
+// 14, so levels 2..13 are empty and the peeler must jump the gap (counted
+// in truss_peel_level_skips) while keeping τ bit-identical to the serial
+// decomposition at every thread count.
+func TestParallelLevelSkip(t *testing.T) {
+	in := []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}}
+	const base, n = int32(3), int32(16)
+	for u := int32(0); u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			in = append(in, graph.Edge{U: base + u, V: base + v})
+		}
+	}
+	g, err := graph.FromEdgeList(in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := triangle.Supports(g, 2)
+	want, wantK := DecomposeSerial(g, sup)
+	if wantK != 16 {
+		t.Fatalf("serial kmax = %d, want 16", wantK)
+	}
+	before := cPeelLevelSkips.Value()
+	for _, threads := range []int{1, 2, 4, 8} {
+		got, gotK := DecomposeParallel(g, sup, threads)
+		if gotK != wantK {
+			t.Fatalf("threads=%d: kmax %d vs %d", threads, gotK, wantK)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("threads=%d: τ[%d] parallel %d vs serial %d", threads, i, got[i], want[i])
+			}
+		}
+	}
+	// Each run must cross the 12-level gap between support 1 and 14 in one
+	// jump rather than scanning it level by level.
+	if skips := cPeelLevelSkips.Value() - before; skips < 12 {
+		t.Fatalf("level skips = %d, want >= 12", skips)
+	}
+}
+
 // TestTrussnessInvariant checks the defining property directly: within the
 // subgraph of edges with τ >= k, every such edge has at least k-2
 // triangles (so H_k is a k-truss), for every k present.
