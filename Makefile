@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench repro examples ci serversmoke clean
+.PHONY: all build test race bench repro examples ci serversmoke chaos clean
 
 all: build test
 
@@ -15,11 +15,18 @@ test:
 race:
 	$(GO) test -race ./...
 
-# The gate every change must pass: vet, build, full tests, and the
-# race-detector subset covering the shared-state hot spots (schedulers,
-# connected components, the query server).
-ci: serversmoke
+# The gate every change must pass: vet, vulnerability scan (when the
+# scanner is installed), build, full tests, the race-detector subset
+# covering the shared-state hot spots (schedulers, connected components,
+# the query server), and the chaos suite.
+ci: serversmoke chaos
 	$(GO) vet ./...
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed — skipping vulnerability scan"; \
+		echo "  (go install golang.org/x/vuln/cmd/govulncheck@latest to enable)"; \
+	fi
 	$(GO) build ./...
 	$(GO) test ./...
 	$(GO) test -race ./internal/concur ./internal/cc
@@ -29,6 +36,14 @@ ci: serversmoke
 # against a precomputed oracle.
 serversmoke:
 	$(GO) test -race -run 'TestServerSmokeConcurrent|TestGracefulShutdownDrainsInflight' ./internal/server
+
+# Fault-injection and robustness proofs, all race-enabled: mid-build
+# cancellation with goroutine-leak assertions, corrupt-index rejection,
+# crash-safe saves, and the server surviving injected errors/panics/delays.
+# See docs/ROBUSTNESS.md for the fault-site registry.
+chaos:
+	$(GO) test -race -run 'TestChaos' .
+	$(GO) test -race ./internal/faults ./internal/server ./internal/graphio
 
 # One benchmark per paper table/figure plus ablations (bench_test.go).
 bench:

@@ -14,14 +14,17 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"equitruss"
 	"equitruss/internal/graphio"
@@ -100,6 +103,16 @@ func parseVariant(s string) (equitruss.Variant, error) {
 }
 
 func runBuild(args []string) error {
+	// SIGINT/SIGTERM cancel the pipeline: every kernel checks the context
+	// at scheduler-barrier granularity, so an interrupted build exits
+	// promptly with all workers joined instead of finishing a large graph.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return runBuildCtx(ctx, args)
+}
+
+// runBuildCtx is runBuild with the lifetime context injected for tests.
+func runBuildCtx(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("build", flag.ExitOnError)
 	graphSpec := fs.String("graph", "", "edge-list path or dataset:<name>[:<factor>]")
 	variantName := fs.String("variant", "afforest", "serial|baseline|coptimal|afforest")
@@ -123,8 +136,13 @@ func runBuild(args []string) error {
 	if err != nil {
 		return err
 	}
-	sg, tm, err := equitruss.BuildSummary(g, equitruss.Options{Variant: variant, Threads: *threads, Tracer: tr})
+	sg, tm, err := equitruss.BuildSummary(g, equitruss.Options{
+		Variant: variant, Threads: *threads, Tracer: tr, Context: ctx,
+	})
 	if err != nil {
+		if ctx.Err() != nil {
+			return fmt.Errorf("build interrupted: %w", err)
+		}
 		return err
 	}
 	fmt.Printf("index: %d supernodes, %d superedges\n", sg.NumSupernodes(), sg.NumSuperedges())
@@ -135,15 +153,10 @@ func runBuild(args []string) error {
 		return err
 	}
 	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			return err
-		}
-		if err := equitruss.SaveIndex(f, sg); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
+		// Crash-safe save: checksummed v2 stream, temp file + fsync +
+		// atomic rename — a crash or interrupt mid-save never leaves a
+		// torn index behind.
+		if err := equitruss.SaveIndexFile(*out, sg); err != nil {
 			return err
 		}
 		fmt.Printf("index written to %s\n", *out)

@@ -35,11 +35,41 @@ func runServeCtx(ctx context.Context, args []string, onListen func(net.Addr)) er
 	cacheSize := fs.Int("cache", 0, "LRU result-cache entries (0 = default 4096, negative disables)")
 	workers := fs.Int("workers", 0, "max goroutines executing queries (0 = all cores)")
 	maxBatch := fs.Int("maxbatch", 0, "max queries per /batch request (0 = default 10000)")
+	maxInFlight := fs.Int("maxinflight", 0, "max concurrent query requests before shedding with 429 (0 = default 256, negative = unlimited)")
+	reqTimeout := fs.Duration("reqtimeout", 0, "per-request deadline for query endpoints (0 = none)")
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 	trace := fs.Bool("trace", false, "record per-request latency spans, exposed via /metrics (diagnostic runs only: spans accumulate unbounded)")
 	fs.Parse(args)
+	// Validate the whole flag set up front, before the expensive graph load
+	// and before binding the listener: a typo'd index path or address should
+	// fail in milliseconds, not after minutes of loading.
 	if *graphSpec == "" {
 		return fmt.Errorf("-graph is required")
+	}
+	if _, _, err := net.SplitHostPort(*addr); err != nil {
+		return fmt.Errorf("bad -addr %q: %v", *addr, err)
+	}
+	variantSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "variant" {
+			variantSet = true
+		}
+	})
+	if *indexPath != "" {
+		if variantSet {
+			return fmt.Errorf("-index and -variant are mutually exclusive: a loaded index fixes the construction variant")
+		}
+		info, err := os.Stat(*indexPath)
+		if err != nil {
+			return fmt.Errorf("index file: %w", err)
+		}
+		if info.IsDir() {
+			return fmt.Errorf("index file %s is a directory", *indexPath)
+		}
+	}
+	variant, err := parseVariant(*variantName)
+	if err != nil {
+		return err
 	}
 	g, err := loadGraph(*graphSpec)
 	if err != nil {
@@ -48,22 +78,13 @@ func runServeCtx(ctx context.Context, args []string, onListen func(net.Addr)) er
 	fmt.Printf("graph: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
 	var idx *equitruss.Index
 	if *indexPath != "" {
-		f, err := os.Open(*indexPath)
-		if err != nil {
-			return err
-		}
-		idx, err = equitruss.LoadIndex(f, g)
-		f.Close()
+		idx, err = equitruss.LoadIndexFile(*indexPath, g)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("index loaded from %s\n", *indexPath)
 	} else {
-		variant, err := parseVariant(*variantName)
-		if err != nil {
-			return err
-		}
-		idx, err = equitruss.BuildIndex(g, equitruss.Options{Variant: variant, Threads: *threads})
+		idx, err = equitruss.BuildIndex(g, equitruss.Options{Variant: variant, Threads: *threads, Context: ctx})
 		if err != nil {
 			return err
 		}
@@ -75,12 +96,14 @@ func runServeCtx(ctx context.Context, args []string, onListen func(net.Addr)) er
 		tr = equitruss.NewTracer()
 	}
 	return equitruss.Serve(ctx, idx, equitruss.ServeOptions{
-		Addr:         *addr,
-		CacheSize:    *cacheSize,
-		Workers:      *workers,
-		MaxBatch:     *maxBatch,
-		DrainTimeout: *drain,
-		Tracer:       tr,
-		OnListen:     onListen,
+		Addr:           *addr,
+		CacheSize:      *cacheSize,
+		Workers:        *workers,
+		MaxBatch:       *maxBatch,
+		MaxInFlight:    *maxInFlight,
+		RequestTimeout: *reqTimeout,
+		DrainTimeout:   *drain,
+		Tracer:         tr,
+		OnListen:       onListen,
 	})
 }

@@ -98,6 +98,13 @@ type Options struct {
 	// per-thread spans inside every parallel kernel. Nil disables tracing
 	// with no overhead.
 	Tracer *Tracer
+	// Context, when non-nil, cancels the build: every pipeline kernel
+	// checks it at scheduler-barrier granularity (parallel kernels) or
+	// every few thousand operations (serial kernels), so BuildIndex and
+	// BuildSummary return ctx.Err() in bounded time with every worker
+	// goroutine joined and no partial index escaping. Nil means
+	// non-cancelable, with no overhead on the hot paths.
+	Context context.Context
 }
 
 // Index is the query-ready EquiTruss index: the summary graph plus the
@@ -223,6 +230,10 @@ func buildSummary(g *Graph, opt Options) (*SummaryGraph, Timings, error) {
 	if g == nil {
 		return nil, Timings{}, fmt.Errorf("equitruss: nil graph")
 	}
+	ctx := opt.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	threads := opt.Threads
 	if opt.Variant == Serial {
 		threads = 1
@@ -230,22 +241,31 @@ func buildSummary(g *Graph, opt Options) (*SummaryGraph, Timings, error) {
 	tr := opt.Tracer
 	span := tr.Start("Support")
 	start := time.Now()
-	sup := triangle.SupportsT(g, threads, tr)
+	sup, err := triangle.SupportsCtx(ctx, g, threads, tr)
 	supportTime := time.Since(start)
 	span.End()
+	if err != nil {
+		return nil, Timings{}, err
+	}
 
 	span = tr.Start("TrussDecomp")
 	start = time.Now()
 	var tau []int32
 	if opt.Variant == Serial || opt.SerialTruss || threads == 1 {
-		tau, _ = truss.DecomposeSerial(g, sup)
+		tau, _, err = truss.DecomposeSerialCtx(ctx, g, sup)
 	} else {
-		tau, _ = truss.DecomposeParallelT(g, sup, threads, tr)
+		tau, _, err = truss.DecomposeParallelCtx(ctx, g, sup, threads, tr)
 	}
 	trussTime := time.Since(start)
 	span.End()
+	if err != nil {
+		return nil, Timings{}, err
+	}
 
-	sg, tm := core.BuildTraced(g, tau, opt.Variant, threads, tr)
+	sg, tm, err := core.BuildCtx(ctx, g, tau, opt.Variant, threads, tr)
+	if err != nil {
+		return nil, Timings{}, err
+	}
 	tm.Support = supportTime
 	tm.TrussDecomp = trussTime
 	return sg, tm, nil
@@ -323,6 +343,29 @@ func LoadIndex(r io.Reader, g *Graph) (*Index, error) {
 	return &Index{Index: community.NewIndex(g, sg)}, nil
 }
 
+// SaveIndexFile writes a summary graph to path crash-safely: the
+// checksummed v2 binary stream goes to a same-directory temp file that is
+// fsynced and atomically renamed into place, so a crash mid-save leaves
+// either the old index or the new one, never a torn file.
+func SaveIndexFile(path string, sg *SummaryGraph) error {
+	return graphio.WriteBinaryIndexFile(path, sg)
+}
+
+// LoadIndexFile reads an index file written by SaveIndexFile (or any
+// SaveIndex stream, v1 or v2) and attaches it to its graph as a query-ready
+// Index. v2 files are checksum-verified: any single flipped byte on disk is
+// rejected with a checksum error.
+func LoadIndexFile(path string, g *Graph) (*Index, error) {
+	sg, err := graphio.ReadBinaryIndexFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(sg.Tau) != int(g.NumEdges()) {
+		return nil, fmt.Errorf("equitruss: index built for %d edges, graph has %d", len(sg.Tau), g.NumEdges())
+	}
+	return &Index{Index: community.NewIndex(g, sg)}, nil
+}
+
 // ServeOptions configures Serve and NewHandler.
 type ServeOptions struct {
 	// Addr is the listen address for Serve; empty means ":8080".
@@ -336,6 +379,13 @@ type ServeOptions struct {
 	// MaxBatch caps the queries accepted by one POST /batch request; <= 0
 	// selects the default (10000).
 	MaxBatch int
+	// MaxInFlight caps concurrently admitted /community and /batch
+	// requests; excess requests are shed with 429 + Retry-After instead of
+	// queueing. 0 selects the default (256), negative disables the limit.
+	MaxInFlight int
+	// RequestTimeout bounds each query request; past the deadline the
+	// batch fan-out aborts with 503. <= 0 means no server-imposed deadline.
+	RequestTimeout time.Duration
 	// DrainTimeout bounds graceful shutdown: after the context ends,
 	// in-flight requests get this long to finish; <= 0 selects 10s.
 	DrainTimeout time.Duration
@@ -360,10 +410,12 @@ func Serve(ctx context.Context, ix *Index, opt ServeOptions) error {
 		addr = ":8080"
 	}
 	s := server.New(ix.Index, server.Config{
-		CacheSize: opt.CacheSize,
-		Workers:   opt.Workers,
-		MaxBatch:  opt.MaxBatch,
-		Tracer:    opt.Tracer,
+		CacheSize:      opt.CacheSize,
+		Workers:        opt.Workers,
+		MaxBatch:       opt.MaxBatch,
+		MaxInFlight:    opt.MaxInFlight,
+		RequestTimeout: opt.RequestTimeout,
+		Tracer:         opt.Tracer,
 	})
 	return s.ListenAndServe(ctx, addr, opt.DrainTimeout, opt.OnListen)
 }
@@ -373,9 +425,11 @@ func Serve(ctx context.Context, ix *Index, opt ServeOptions) error {
 // OnListen are ignored).
 func NewHandler(ix *Index, opt ServeOptions) http.Handler {
 	return server.New(ix.Index, server.Config{
-		CacheSize: opt.CacheSize,
-		Workers:   opt.Workers,
-		MaxBatch:  opt.MaxBatch,
-		Tracer:    opt.Tracer,
+		CacheSize:      opt.CacheSize,
+		Workers:        opt.Workers,
+		MaxBatch:       opt.MaxBatch,
+		MaxInFlight:    opt.MaxInFlight,
+		RequestTimeout: opt.RequestTimeout,
+		Tracer:         opt.Tracer,
 	}).Handler()
 }

@@ -1,6 +1,8 @@
 package cc
 
 import (
+	"context"
+
 	"equitruss/internal/concur"
 	"equitruss/internal/ds"
 	"equitruss/internal/graph"
@@ -29,11 +31,22 @@ func Afforest(g *graph.Graph, threads int) []int32 {
 // AfforestT is Afforest with per-thread "CC.Afforest" spans emitted into tr
 // plus sampling-accuracy and union-find CAS-retry counters.
 func AfforestT(g *graph.Graph, threads int, tr *obs.Trace) []int32 {
+	labels, err := AfforestCtx(context.Background(), g, threads, tr)
+	if err != nil {
+		// Unreachable without a cancelable context or armed fault injection.
+		panic("cc: " + err.Error())
+	}
+	return labels
+}
+
+// AfforestCtx is AfforestT with cancellation: ctx is checked at every phase
+// barrier (link rounds, compressions, finalization, materialization).
+func AfforestCtx(ctx context.Context, g *graph.Graph, threads int, tr *obs.Trace) ([]int32, error) {
 	n := int(g.NumVertices())
 	cuf := ds.NewConcurrentUnionFind(n)
 	// Phase 1: bounded neighbor rounds.
 	for r := 0; r < afforestNeighborRounds; r++ {
-		concur.ForRangeDynamicT(tr, "CC.Afforest", n, threads, 1024, func(lo, hi int) {
+		err := concur.ForRangeDynamicCtxT(ctx, tr, "CC.Afforest", n, threads, 1024, func(lo, hi int) {
 			for v := lo; v < hi; v++ {
 				nbrs := g.Neighbors(int32(v))
 				if r < len(nbrs) {
@@ -41,7 +54,12 @@ func AfforestT(g *graph.Graph, threads int, tr *obs.Trace) []int32 {
 				}
 			}
 		})
-		concur.ForT(tr, "CC.Afforest", n, threads, func(i int) { cuf.Find(int32(i)) })
+		if err != nil {
+			return nil, err
+		}
+		if err := concur.ForCtxT(ctx, tr, "CC.Afforest", n, threads, func(i int) { cuf.Find(int32(i)) }); err != nil {
+			return nil, err
+		}
 	}
 	// Phase 2: sample for the dominant component.
 	dominant := int32(-1)
@@ -67,7 +85,7 @@ func AfforestT(g *graph.Graph, threads int, tr *obs.Trace) []int32 {
 	}
 	// Phase 3: finalize everything outside the dominant component,
 	// starting from the round the bounded phase stopped at.
-	concur.ForRangeDynamicT(tr, "CC.Afforest", n, threads, 1024, func(lo, hi int) {
+	err := concur.ForRangeDynamicCtxT(ctx, tr, "CC.Afforest", n, threads, 1024, func(lo, hi int) {
 		for v := lo; v < hi; v++ {
 			if cuf.Find(int32(v)) == dominant {
 				continue
@@ -78,9 +96,16 @@ func AfforestT(g *graph.Graph, threads int, tr *obs.Trace) []int32 {
 			}
 		}
 	})
-	concur.ForT(tr, "CC.Afforest", n, threads, func(i int) { cuf.Find(int32(i)) })
+	if err != nil {
+		return nil, err
+	}
+	if err := concur.ForCtxT(ctx, tr, "CC.Afforest", n, threads, func(i int) { cuf.Find(int32(i)) }); err != nil {
+		return nil, err
+	}
 	labels := make([]int32, n)
-	concur.ForT(tr, "CC.Afforest", n, threads, func(i int) { labels[i] = cuf.Find(int32(i)) })
+	if err := concur.ForCtxT(ctx, tr, "CC.Afforest", n, threads, func(i int) { labels[i] = cuf.Find(int32(i)) }); err != nil {
+		return nil, err
+	}
 	cUFRetries.Add(cuf.Retries())
-	return labels
+	return labels, nil
 }

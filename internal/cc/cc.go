@@ -13,6 +13,7 @@
 package cc
 
 import (
+	"context"
 	"sync/atomic"
 
 	"equitruss/internal/concur"
@@ -78,6 +79,18 @@ func ShiloachVishkin(g *graph.Graph, threads int) []int32 {
 // ShiloachVishkinT is ShiloachVishkin with per-thread "CC.SV" spans emitted
 // into tr and round counters accumulated into the registry.
 func ShiloachVishkinT(g *graph.Graph, threads int, tr *obs.Trace) []int32 {
+	labels, err := ShiloachVishkinCtx(context.Background(), g, threads, tr)
+	if err != nil {
+		// Unreachable without a cancelable context or armed fault injection.
+		panic("cc: " + err.Error())
+	}
+	return labels
+}
+
+// ShiloachVishkinCtx is ShiloachVishkinT with cancellation: ctx is checked
+// at every hooking/shortcut barrier, so a canceled call returns ctx.Err()
+// (and no labels) with every worker joined.
+func ShiloachVishkinCtx(ctx context.Context, g *graph.Graph, threads int, tr *obs.Trace) ([]int32, error) {
 	n := int(g.NumVertices())
 	parent := make([]int32, n)
 	for i := range parent {
@@ -89,7 +102,7 @@ func ShiloachVishkinT(g *graph.Graph, threads int, tr *obs.Trace) []int32 {
 		// Hooking phase: for every edge (u, v), try to hook the root of
 		// the larger parent under the smaller one.
 		cSVHookRounds.Inc()
-		concur.ForRangeT(tr, "CC.SV", n, threads, func(lo, hi int) {
+		err := concur.ForRangeCtxT(ctx, tr, "CC.SV", n, threads, func(lo, hi int) {
 			localHook := false
 			for u := lo; u < hi; u++ {
 				pu := atomic.LoadInt32(&parent[u])
@@ -106,10 +119,13 @@ func ShiloachVishkinT(g *graph.Graph, threads int, tr *obs.Trace) []int32 {
 				atomic.StoreInt32(&hooked, 1)
 			}
 		})
+		if err != nil {
+			return nil, err
+		}
 		// Shortcut phase: pointer jumping until every vertex points at a
 		// root.
 		cSVShortcutRounds.Inc()
-		concur.ForRangeT(tr, "CC.SV", n, threads, func(lo, hi int) {
+		if err := concur.ForRangeCtxT(ctx, tr, "CC.SV", n, threads, func(lo, hi int) {
 			for v := lo; v < hi; v++ {
 				for {
 					p := atomic.LoadInt32(&parent[v])
@@ -120,14 +136,26 @@ func ShiloachVishkinT(g *graph.Graph, threads int, tr *obs.Trace) []int32 {
 					atomic.StoreInt32(&parent[v], gp)
 				}
 			}
-		})
+		}); err != nil {
+			return nil, err
+		}
 	}
-	return parent
+	return parent, nil
 }
 
 // LabelPropagation repeatedly assigns every vertex the minimum label in its
 // closed neighborhood until a fixpoint — simple, diameter-bound work.
 func LabelPropagation(g *graph.Graph, threads int) []int32 {
+	labels, err := LabelPropagationCtx(context.Background(), g, threads)
+	if err != nil {
+		panic("cc: " + err.Error())
+	}
+	return labels
+}
+
+// LabelPropagationCtx is LabelPropagation with cancellation at every round
+// barrier.
+func LabelPropagationCtx(ctx context.Context, g *graph.Graph, threads int) ([]int32, error) {
 	n := int(g.NumVertices())
 	labels := make([]int32, n)
 	for i := range labels {
@@ -136,7 +164,7 @@ func LabelPropagation(g *graph.Graph, threads int) []int32 {
 	changed := int32(1)
 	for changed != 0 {
 		changed = 0
-		concur.ForRange(n, threads, func(lo, hi int) {
+		err := concur.ForRangeCtx(ctx, n, threads, func(lo, hi int) {
 			localChange := false
 			for v := lo; v < hi; v++ {
 				lv := atomic.LoadInt32(&labels[v])
@@ -155,8 +183,11 @@ func LabelPropagation(g *graph.Graph, threads int) []int32 {
 				atomic.StoreInt32(&changed, 1)
 			}
 		})
+		if err != nil {
+			return nil, err
+		}
 	}
-	return labels
+	return labels, nil
 }
 
 // BFS computes components by repeated parallel breadth-first traversals
@@ -164,6 +195,16 @@ func LabelPropagation(g *graph.Graph, threads int) []int32 {
 // as the number of small components grows (the paper's stated reason for
 // preferring SV/Afforest).
 func BFS(g *graph.Graph, threads int) []int32 {
+	labels, err := BFSCtx(context.Background(), g, threads)
+	if err != nil {
+		panic("cc: " + err.Error())
+	}
+	return labels
+}
+
+// BFSCtx is BFS with cancellation: ctx is checked at every frontier barrier
+// and periodically during the serial seed scan.
+func BFSCtx(ctx context.Context, g *graph.Graph, threads int) ([]int32, error) {
 	n := int(g.NumVertices())
 	labels := make([]int32, n)
 	for i := range labels {
@@ -172,6 +213,9 @@ func BFS(g *graph.Graph, threads int) []int32 {
 	visited := ds.NewBitset(n)
 	var frontier, next []int32
 	for s := 0; s < n; s++ {
+		if s&8191 == 0 && concur.Canceled(ctx) {
+			return nil, ctx.Err()
+		}
 		if visited.Get(s) {
 			continue
 		}
@@ -180,7 +224,7 @@ func BFS(g *graph.Graph, threads int) []int32 {
 		frontier = append(frontier[:0], int32(s))
 		for len(frontier) > 0 {
 			bufs := make([][]int32, threadCount(threads))
-			concur.ForThreads(len(bufs), func(tid int) {
+			err := concur.ForThreadsCtx(ctx, len(bufs), func(tid int) {
 				lo := tid * len(frontier) / len(bufs)
 				hi := (tid + 1) * len(frontier) / len(bufs)
 				var buf []int32
@@ -195,6 +239,9 @@ func BFS(g *graph.Graph, threads int) []int32 {
 				}
 				bufs[tid] = buf
 			})
+			if err != nil {
+				return nil, err
+			}
 			next = next[:0]
 			for _, b := range bufs {
 				next = append(next, b...)
@@ -202,7 +249,7 @@ func BFS(g *graph.Graph, threads int) []int32 {
 			frontier, next = next, frontier
 		}
 	}
-	return labels
+	return labels, nil
 }
 
 func threadCount(threads int) int {

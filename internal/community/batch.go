@@ -1,6 +1,8 @@
 package community
 
 import (
+	"context"
+
 	"equitruss/internal/concur"
 )
 
@@ -10,11 +12,26 @@ import (
 // input slice; queries are independent and read-only, so they parallelize
 // perfectly.
 func (idx *Index) BatchCommunities(queries []Query, threads int) [][]*Community {
-	out := make([][]*Community, len(queries))
-	concur.ForDynamic(len(queries), threads, 8, func(i int) {
-		out[i] = idx.Communities(queries[i].Vertex, queries[i].K)
-	})
+	out, err := idx.BatchCommunitiesCtx(context.Background(), queries, threads)
+	if err != nil {
+		// Unreachable: a background context is never canceled.
+		panic("community: " + err.Error())
+	}
 	return out
+}
+
+// BatchCommunitiesCtx is BatchCommunities with cancellation: workers check
+// ctx before claiming each query chunk, so a canceled (or deadline-expired)
+// batch returns ctx.Err() promptly instead of finishing the whole slice —
+// the hook the serving layer uses for per-request deadlines.
+func (idx *Index) BatchCommunitiesCtx(ctx context.Context, queries []Query, threads int) ([][]*Community, error) {
+	out := make([][]*Community, len(queries))
+	if err := concur.ForDynamicCtx(ctx, len(queries), threads, 8, func(i int) {
+		out[i] = idx.Communities(queries[i].Vertex, queries[i].K)
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Query is one community lookup.

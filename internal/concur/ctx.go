@@ -1,0 +1,275 @@
+package concur
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"equitruss/internal/faults"
+	"equitruss/internal/obs"
+)
+
+// Cancellation-aware scheduler variants. Each mirrors its plain counterpart
+// but checks the context at chunk-claim granularity: workers poll ctx.Done()
+// between chunks, stop claiming new work once it fires, and the call joins
+// every goroutine before returning ctx.Err(). Cancellation latency is
+// therefore bounded by one chunk of the body, and no goroutine ever
+// outlives the call. A nil context is never canceled and adds no polling,
+// so the kernels can use these forms unconditionally.
+//
+// The barrier exit of every ctx scheduler is also a fault-injection site
+// ("concur.barrier"): the chaos suite arms it to prove that a kernel
+// failing at any barrier propagates one clean error out of the build
+// instead of deadlocking or leaking workers.
+
+// barrierSite names the fault-injection point at scheduler barrier exits.
+const barrierSite = "concur.barrier"
+
+// cancelChunk bounds the iterations a static worker runs between context
+// polls; dynamic workers poll once per claimed chunk instead.
+const cancelChunk = 2048
+
+// poller returns a cheap non-blocking cancellation check for ctx, or nil
+// when ctx can never be canceled (nil ctx or Done() == nil).
+func poller(ctx context.Context) func() bool {
+	if ctx == nil {
+		return nil
+	}
+	d := ctx.Done()
+	if d == nil {
+		return nil
+	}
+	return func() bool {
+		select {
+		case <-d:
+			return true
+		default:
+			return false
+		}
+	}
+}
+
+// ctxErr returns ctx.Err() tolerating a nil context.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
+// barrierExit is the shared epilogue of every ctx scheduler: cancellation
+// wins over an injected barrier fault so canceled builds report ctx.Err().
+func barrierExit(ctx context.Context) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
+	return faults.Inject(barrierSite)
+}
+
+// ForCtx is For with cancellation: body(i) runs for i in [0, n) unless ctx
+// is canceled first, in which case workers stop at the next chunk boundary
+// and ctx.Err() is returned. ForCtxT is the traced form.
+func ForCtx(ctx context.Context, n, threads int, body func(i int)) error {
+	return ForCtxT(ctx, nil, "", n, threads, body)
+}
+
+// ForCtxT is ForCtx with per-thread spans named name.
+func ForCtxT(ctx context.Context, tr *obs.Trace, name string, n, threads int, body func(i int)) error {
+	return ForRangeCtxT(ctx, tr, name, n, threads, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// ForRangeCtx is ForRange with cancellation. Each thread's static block is
+// subdivided into cancelChunk-sized sub-blocks so the body is still called
+// on contiguous ranges partitioning [0, n), just more than once per thread.
+// ForRangeCtxT is the traced form.
+func ForRangeCtx(ctx context.Context, n, threads int, body func(lo, hi int)) error {
+	return ForRangeCtxT(ctx, nil, "", n, threads, body)
+}
+
+// ForRangeCtxT is ForRangeCtx with per-thread spans named name.
+func ForRangeCtxT(ctx context.Context, tr *obs.Trace, name string, n, threads int, body func(lo, hi int)) error {
+	if n <= 0 {
+		return barrierExit(ctx)
+	}
+	threads = clampThreads(threads, n)
+	done := poller(ctx)
+	run := func(lo, hi int) int64 {
+		var items int64
+		for lo < hi {
+			if done != nil && done() {
+				break
+			}
+			end := lo + cancelChunk
+			if end > hi {
+				end = hi
+			}
+			body(lo, end)
+			items += int64(end - lo)
+			lo = end
+		}
+		return items
+	}
+	if threads == 1 {
+		r := tr.StartThread(name, 0)
+		r.EndItems(run(0, n))
+		return barrierExit(ctx)
+	}
+	var wg sync.WaitGroup
+	wg.Add(threads)
+	for t := 0; t < threads; t++ {
+		lo := t * n / threads
+		hi := (t + 1) * n / threads
+		go func(tid, lo, hi int) {
+			defer wg.Done()
+			r := tr.StartThread(name, tid)
+			r.EndItems(run(lo, hi))
+		}(t, lo, hi)
+	}
+	wg.Wait()
+	return barrierExit(ctx)
+}
+
+// ForDynamicCtx is ForDynamic with cancellation checked before every chunk
+// claim. ForDynamicCtxT is the traced form.
+func ForDynamicCtx(ctx context.Context, n, threads, grain int, body func(i int)) error {
+	return ForRangeDynamicCtxT(ctx, nil, "", n, threads, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// ForDynamicCtxT is ForDynamicCtx with per-thread spans named name.
+func ForDynamicCtxT(ctx context.Context, tr *obs.Trace, name string, n, threads, grain int, body func(i int)) error {
+	return ForRangeDynamicCtxT(ctx, tr, name, n, threads, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// ForRangeDynamicCtx is ForRangeDynamic with cancellation checked before
+// every chunk claim. ForRangeDynamicCtxT is the traced form.
+func ForRangeDynamicCtx(ctx context.Context, n, threads, grain int, body func(lo, hi int)) error {
+	return ForRangeDynamicCtxT(ctx, nil, "", n, threads, grain, body)
+}
+
+// ForRangeDynamicCtxT is ForRangeDynamicCtx with per-thread spans named
+// name.
+func ForRangeDynamicCtxT(ctx context.Context, tr *obs.Trace, name string, n, threads, grain int, body func(lo, hi int)) error {
+	if n <= 0 {
+		return barrierExit(ctx)
+	}
+	threads = clampThreads(threads, n)
+	if grain <= 0 {
+		grain = n / (threads * 8)
+		if grain < 64 {
+			grain = 64
+		}
+	}
+	done := poller(ctx)
+	if threads == 1 {
+		r := tr.StartThread(name, 0)
+		var items int64
+		for lo := 0; lo < n; lo += cancelChunk {
+			if done != nil && done() {
+				break
+			}
+			hi := lo + cancelChunk
+			if hi > n {
+				hi = n
+			}
+			body(lo, hi)
+			items += int64(hi - lo)
+		}
+		r.EndItems(items)
+		return barrierExit(ctx)
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(threads)
+	for t := 0; t < threads; t++ {
+		go func(tid int) {
+			defer wg.Done()
+			r := tr.StartThread(name, tid)
+			var items int64
+			for {
+				if done != nil && done() {
+					break
+				}
+				lo := int(cursor.Add(int64(grain))) - grain
+				if lo >= n {
+					break
+				}
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				body(lo, hi)
+				items += int64(hi - lo)
+			}
+			r.EndItems(items)
+		}(t)
+	}
+	wg.Wait()
+	return barrierExit(ctx)
+}
+
+// ForThreadsCtx is ForThreads with cancellation checked once per thread
+// before its body runs: a canceled context skips bodies that have not
+// started, while bodies already running complete (they own their range, so
+// finer-grained checks belong inside the body — see Canceled).
+// ForThreadsCtxT is the traced form.
+func ForThreadsCtx(ctx context.Context, threads int, body func(tid int)) error {
+	return ForThreadsCtxT(ctx, nil, "", threads, body)
+}
+
+// ForThreadsCtxT is ForThreadsCtx with per-thread spans named name.
+func ForThreadsCtxT(ctx context.Context, tr *obs.Trace, name string, threads int, body func(tid int)) error {
+	if threads <= 0 {
+		threads = MaxThreads()
+	}
+	done := poller(ctx)
+	if threads == 1 {
+		r := tr.StartThread(name, 0)
+		if done == nil || !done() {
+			body(0)
+		}
+		r.End()
+		return barrierExit(ctx)
+	}
+	var wg sync.WaitGroup
+	wg.Add(threads)
+	for t := 0; t < threads; t++ {
+		go func(tid int) {
+			defer wg.Done()
+			r := tr.StartThread(name, tid)
+			if done == nil || !done() {
+				body(tid)
+			}
+			r.End()
+		}(t)
+	}
+	wg.Wait()
+	return barrierExit(ctx)
+}
+
+// Canceled is a non-blocking cancellation probe for opaque loop bodies
+// (e.g. ForThreadsCtx workers iterating their own range): poll it every few
+// thousand iterations and bail out early when it reports true. A nil
+// context is never canceled.
+func Canceled(ctx context.Context) bool {
+	if ctx == nil {
+		return false
+	}
+	select {
+	case <-ctx.Done():
+		return true
+	default:
+		return false
+	}
+}

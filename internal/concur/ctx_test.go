@@ -1,0 +1,138 @@
+package concur
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"equitruss/internal/faults"
+)
+
+// settleGoroutines waits for the goroutine count to return to baseline,
+// failing the test with a full stack dump if it never does.
+func settleGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutine leak: %d running, baseline %d\n%s",
+				runtime.NumGoroutine(), baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestCtxSchedulersCompleteWithBackgroundContext(t *testing.T) {
+	const n = 10000
+	ctx := context.Background()
+	check := func(name string, run func(hits *[]int32) error) {
+		hits := make([]int32, n)
+		if err := run(&hits); err != nil {
+			t.Fatalf("%s returned %v with background ctx", name, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("%s: iteration %d ran %d times", name, i, h)
+			}
+		}
+	}
+	check("ForCtx", func(h *[]int32) error {
+		return ForCtx(ctx, n, 4, func(i int) { atomic.AddInt32(&(*h)[i], 1) })
+	})
+	check("ForRangeCtx", func(h *[]int32) error {
+		return ForRangeCtx(ctx, n, 4, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&(*h)[i], 1)
+			}
+		})
+	})
+	check("ForDynamicCtx", func(h *[]int32) error {
+		return ForDynamicCtx(ctx, n, 4, 64, func(i int) { atomic.AddInt32(&(*h)[i], 1) })
+	})
+	check("ForRangeDynamicCtx", func(h *[]int32) error {
+		return ForRangeDynamicCtx(ctx, n, 4, 64, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&(*h)[i], 1)
+			}
+		})
+	})
+	// Nil context behaves like background.
+	check("ForCtx(nil)", func(h *[]int32) error {
+		return ForCtx(nil, n, 4, func(i int) { atomic.AddInt32(&(*h)[i], 1) })
+	})
+}
+
+func TestCtxSchedulersPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	if err := ForCtx(ctx, 1<<20, 4, func(i int) { ran.Add(1) }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ForCtx on canceled ctx returned %v", err)
+	}
+	// Workers may complete at most one chunk each before observing the
+	// cancellation; they must not run the whole loop.
+	if n := ran.Load(); n >= 1<<20 {
+		t.Fatalf("pre-canceled ForCtx ran all %d iterations", n)
+	}
+	if err := ForRangeDynamicCtx(ctx, 1<<20, 4, 64, func(lo, hi int) {}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ForRangeDynamicCtx on canceled ctx returned %v", err)
+	}
+	if err := ForThreadsCtx(ctx, 4, func(tid int) { ran.Add(1) }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ForThreadsCtx on canceled ctx returned %v", err)
+	}
+}
+
+func TestCtxSchedulersCancelMidRunNoLeak(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, 1)
+	var ran atomic.Int64
+	errc := make(chan error, 1)
+	go func() {
+		errc <- ForDynamicCtx(ctx, 1<<30, 4, 64, func(i int) {
+			select {
+			case started <- struct{}{}:
+			default:
+			}
+			ran.Add(1)
+		})
+	}()
+	<-started
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("mid-run cancel returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("canceled scheduler did not return")
+	}
+	if n := ran.Load(); n >= 1<<30 {
+		t.Fatalf("canceled loop ran all %d iterations", n)
+	}
+	settleGoroutines(t, baseline)
+}
+
+func TestChaosBarrierFaultPropagates(t *testing.T) {
+	faults.Enable(5)
+	defer faults.Disable()
+	faults.Set("concur.barrier", faults.Plan{Action: faults.Error, Every: 1})
+	err := ForCtx(context.Background(), 100, 2, func(i int) {})
+	if !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("armed barrier returned %v, want injected fault", err)
+	}
+	// Cancellation outranks an injected fault: canceled builds must report
+	// ctx.Err(), not chaos noise.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := ForCtx(ctx, 100, 2, func(i int) {}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled ctx with armed barrier returned %v", err)
+	}
+}

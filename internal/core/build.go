@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -77,11 +78,25 @@ func Build(g *graph.Graph, tau []int32, variant Variant, threads int) (*SummaryG
 // one span per worker, so per-kernel load imbalance is measurable. A nil
 // tracer records nothing and adds no overhead — Build delegates here.
 func BuildTraced(g *graph.Graph, tau []int32, variant Variant, threads int, tr *obs.Trace) (*SummaryGraph, Timings) {
+	sg, tm, err := BuildCtx(context.Background(), g, tau, variant, threads, tr)
+	if err != nil {
+		// Unreachable without a cancelable context or armed fault injection;
+		// neither applies on this legacy path.
+		panic("core: " + err.Error())
+	}
+	return sg, tm
+}
+
+// BuildCtx is BuildTraced with cancellation: every kernel checks ctx at
+// scheduler-barrier granularity (and between SV hook rounds), so a
+// canceled build returns ctx.Err() in bounded time with every worker
+// goroutine joined and no partial index escaping.
+func BuildCtx(ctx context.Context, g *graph.Graph, tau []int32, variant Variant, threads int, tr *obs.Trace) (*SummaryGraph, Timings, error) {
 	if len(tau) != int(g.NumEdges()) {
 		panic(fmt.Sprintf("core: tau has %d entries for %d edges", len(tau), g.NumEdges()))
 	}
 	if variant == VariantSerial {
-		return buildSerial(g, tau, tr)
+		return buildSerialCtx(ctx, g, tau, tr)
 	}
 	if threads <= 0 {
 		threads = concur.MaxThreads()
@@ -109,52 +124,75 @@ func BuildTraced(g *graph.Graph, tau []int32, variant Variant, threads int, tr *
 	}
 	tm.Init = time.Since(start)
 	span.End()
+	if err := ctxDone(ctx); err != nil {
+		return nil, tm, err
+	}
 
 	// SpNode kernel.
 	span = tr.Start("SpNode")
 	start = time.Now()
 	var pi []int32
+	var err error
 	switch variant {
 	case VariantBaseline:
-		pi = spNodeBaseline(g, tau, dict, phi, threads, tr)
+		pi, err = spNodeBaseline(ctx, g, tau, dict, phi, threads, tr)
 	case VariantCOptimal:
-		pi = spNodeCOptimal(g, tau, phi, threads, tr)
+		pi, err = spNodeCOptimal(ctx, g, tau, phi, threads, tr)
 	case VariantAfforest:
-		pi = spNodeAfforest(g, tau, threads, tr)
+		pi, err = spNodeAfforest(ctx, g, tau, threads, tr)
 	case VariantLabelProp:
-		pi = spNodeLabelProp(g, tau, threads, tr)
+		pi, err = spNodeLabelProp(ctx, g, tau, threads, tr)
 	case VariantBFS:
-		pi = spNodeBFS(g, tau, threads, tr)
+		pi, err = spNodeBFS(ctx, g, tau, threads, tr)
 	}
 	tm.SpNode = time.Since(start)
 	span.End()
+	if err != nil {
+		return nil, tm, err
+	}
 
 	// SpEdge kernel.
 	span = tr.Start("SpEdge")
 	start = time.Now()
 	var spEdges [][]uint64
 	if variant == VariantBaseline {
-		spEdges = spEdgeBaseline(g, tau, pi, dict, threads, tr)
+		spEdges, err = spEdgeBaseline(ctx, g, tau, pi, dict, threads, tr)
 	} else {
-		spEdges = spEdgeFlat(g, tau, pi, threads, tr)
+		spEdges, err = spEdgeFlat(ctx, g, tau, pi, threads, tr)
 	}
 	tm.SpEdge = time.Since(start)
 	span.End()
+	if err != nil {
+		return nil, tm, err
+	}
 
 	// SmGraph kernel.
 	span = tr.Start("SmGraph")
 	start = time.Now()
-	pairs := smGraphMerge(spEdges, threads, tr)
+	pairs, err := smGraphMerge(ctx, spEdges, threads, tr)
 	tm.SmGraph = time.Since(start)
 	span.End()
+	if err != nil {
+		return nil, tm, err
+	}
 
-	// SpNodeRemap kernel.
+	// SpNodeRemap kernel: serial passes with bounded work per element; it
+	// runs to completion rather than checking ctx (a canceled context was
+	// already honored at the preceding barriers).
 	span = tr.Start("SpNodeRemap")
 	start = time.Now()
 	sg := remap(g, tau, pi, pairs, threads)
 	tm.SpNodeRemap = time.Since(start)
 	span.End()
-	return sg, tm
+	return sg, tm, nil
+}
+
+// ctxDone returns ctx.Err(), tolerating a nil context.
+func ctxDone(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 // remap densifies root edge IDs into supernode IDs 0..S-1 (in ascending

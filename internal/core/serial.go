@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"time"
 
+	"equitruss/internal/concur"
 	"equitruss/internal/graph"
 	"equitruss/internal/obs"
 )
@@ -23,6 +25,18 @@ func BuildSerial(g *graph.Graph, tau []int32) (*SummaryGraph, Timings) {
 // and SpEdge are interleaved in Algorithm 1, so they share one span and the
 // SpNode timing bucket.
 func buildSerial(g *graph.Graph, tau []int32, tr *obs.Trace) (*SummaryGraph, Timings) {
+	sg, tm, err := buildSerialCtx(nil, g, tau, tr)
+	if err != nil {
+		// Unreachable: a nil context is never canceled.
+		panic("core: " + err.Error())
+	}
+	return sg, tm
+}
+
+// buildSerialCtx is buildSerial with cancellation: the BFS loop polls ctx
+// every few thousand dequeued edges and returns ctx.Err() (and no index)
+// once it fires. A nil context is never canceled.
+func buildSerialCtx(ctx context.Context, g *graph.Graph, tau []int32, tr *obs.Trace) (*SummaryGraph, Timings, error) {
 	var tm Timings
 	tm.Threads = 1
 	tm.Runs = 1
@@ -61,11 +75,15 @@ func buildSerial(g *graph.Graph, tau []int32, tr *obs.Trace) (*SummaryGraph, Tim
 	type sePair struct{ a, b int32 }
 	seSet := make(map[sePair]struct{})
 	var queue []int32
+	pops := 0
 
 	for k := int32(MinK); k <= kmax; k++ {
 		for _, seed := range phi[k] {
 			if processed[seed] {
 				continue
+			}
+			if pops++; pops&4095 == 0 && concur.Canceled(ctx) {
+				return nil, tm, ctx.Err()
 			}
 			// ln. 9–13: open a new supernode ν and BFS from the seed.
 			snID := int32(len(snK))
@@ -74,6 +92,9 @@ func buildSerial(g *graph.Graph, tau []int32, tr *obs.Trace) (*SummaryGraph, Tim
 			processed[seed] = true
 			queue = append(queue[:0], seed)
 			for len(queue) > 0 {
+				if pops++; pops&4095 == 0 && concur.Canceled(ctx) {
+					return nil, tm, ctx.Err()
+				}
 				e := queue[0]
 				queue = queue[1:]
 				snMembers[snID] = append(snMembers[snID], e)
@@ -110,7 +131,7 @@ func buildSerial(g *graph.Graph, tau []int32, tr *obs.Trace) (*SummaryGraph, Tim
 	sg := assemble(g, tau, snK, snMembers, snOf, pairs)
 	tm.SmGraph = time.Since(start)
 	span.End()
-	return sg, tm
+	return sg, tm, nil
 }
 
 // processEdgeSerial is Algorithm 1's ProcessEdge (ln. 25–32): same-k edges

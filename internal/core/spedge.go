@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"sync/atomic"
 
@@ -8,6 +9,10 @@ import (
 	"equitruss/internal/graph"
 	"equitruss/internal/obs"
 )
+
+// spEdgeCancelStride is how many edges a SpEdge worker scans between ctx
+// polls inside its per-thread block.
+const spEdgeCancelStride = 2048
 
 // packPair packs a canonical (low-root, high-root) superedge into a single
 // comparable word for hashing, sorting, and deduplication.
@@ -25,17 +30,22 @@ func unpackPair(p uint64) (a, b int32) { return int32(p >> 32), int32(uint32(p))
 // strictly above the triangle's minimum trussness it emits a superedge from
 // its supernode down to the minimum edge's supernode. Each thread appends
 // to its own subset (ln. 1, 10, 12), avoiding races by construction.
-func spEdgeFlat(g *graph.Graph, tau, pi []int32, threads int, tr *obs.Trace) [][]uint64 {
+// Workers poll ctx every spEdgeCancelStride edges; a canceled call returns
+// ctx.Err() and no subsets.
+func spEdgeFlat(ctx context.Context, g *graph.Graph, tau, pi []int32, threads int, tr *obs.Trace) ([][]uint64, error) {
 	if threads <= 0 {
 		threads = concur.MaxThreads()
 	}
 	m := int(g.NumEdges())
 	spEdges := make([][]uint64, threads)
-	concur.ForThreadsT(tr, "SpEdge", threads, func(tid int) {
+	err := concur.ForThreadsCtxT(ctx, tr, "SpEdge", threads, func(tid int) {
 		lo := tid * m / threads
 		hi := (tid + 1) * m / threads
 		var local []uint64
 		for i := lo; i < hi; i++ {
+			if (i-lo)%spEdgeCancelStride == 0 && concur.Canceled(ctx) {
+				return
+			}
 			e := int32(i)
 			k := tau[e]
 			if k < MinK {
@@ -58,24 +68,30 @@ func spEdgeFlat(g *graph.Graph, tau, pi []int32, threads int, tr *obs.Trace) [][
 		spEdges[tid] = local
 		cSpEdgeEmitted.Add(int64(len(local)))
 	})
-	return spEdges
+	if err != nil {
+		return nil, err
+	}
+	return spEdges, nil
 }
 
 // spEdgeBaseline is Algorithm 3 with the Baseline variant's dictionary
 // lookups for trussness and edge identity (the same indirection its SpNode
-// pays).
-func spEdgeBaseline(g *graph.Graph, tau, pi []int32, dict edgeDict, threads int, tr *obs.Trace) [][]uint64 {
+// pays). Cancellation mirrors spEdgeFlat.
+func spEdgeBaseline(ctx context.Context, g *graph.Graph, tau, pi []int32, dict edgeDict, threads int, tr *obs.Trace) ([][]uint64, error) {
 	if threads <= 0 {
 		threads = concur.MaxThreads()
 	}
 	m := int(g.NumEdges())
 	edges := g.Edges()
 	spEdges := make([][]uint64, threads)
-	concur.ForThreadsT(tr, "SpEdge", threads, func(tid int) {
+	err := concur.ForThreadsCtxT(ctx, tr, "SpEdge", threads, func(tid int) {
 		lo := tid * m / threads
 		hi := (tid + 1) * m / threads
 		var local []uint64
 		for i := lo; i < hi; i++ {
+			if (i-lo)%spEdgeCancelStride == 0 && concur.Canceled(ctx) {
+				return
+			}
 			e := int32(i)
 			k := tau[e]
 			if k < MinK {
@@ -111,32 +127,38 @@ func spEdgeBaseline(g *graph.Graph, tau, pi []int32, dict edgeDict, threads int,
 		spEdges[tid] = local
 		cSpEdgeEmitted.Add(int64(len(local)))
 	})
-	return spEdges
+	if err != nil {
+		return nil, err
+	}
+	return spEdges, nil
 }
 
 // smGraphMerge is Algorithm 4: thread-local superedge subsets are hash-
 // partitioned to destination threads, each destination sorts and
 // deduplicates its partition, and the partitions are concatenated into the
-// final superedge list via a prefix-summed parallel copy.
-func smGraphMerge(spEdges [][]uint64, threads int, tr *obs.Trace) []uint64 {
+// final superedge list via a prefix-summed parallel copy. Cancellation is
+// checked at each of the three phase barriers.
+func smGraphMerge(ctx context.Context, spEdges [][]uint64, threads int, tr *obs.Trace) ([]uint64, error) {
 	if threads <= 0 {
 		threads = concur.MaxThreads()
 	}
 	nsrc := len(spEdges)
 	// ln. 6–11: each source thread buckets its superedges by destination.
 	partitioned := make([][][]uint64, nsrc)
-	concur.ForThreadsT(tr, "SmGraph", nsrc, func(src int) {
+	if err := concur.ForThreadsCtxT(ctx, tr, "SmGraph", nsrc, func(src int) {
 		buckets := make([][]uint64, threads)
 		for _, p := range spEdges[src] {
 			d := int((p * 0x9E3779B97F4A7C15 >> 33) % uint64(threads))
 			buckets[d] = append(buckets[d], p)
 		}
 		partitioned[src] = buckets
-	})
+	}); err != nil {
+		return nil, err
+	}
 	// ln. 13–16: each destination combines, sorts, removes duplicates.
 	combined := make([][]uint64, threads)
 	var deduped int64
-	concur.ForThreadsT(tr, "SmGraph", threads, func(dst int) {
+	if err := concur.ForThreadsCtxT(ctx, tr, "SmGraph", threads, func(dst int) {
 		var all []uint64
 		for src := 0; src < nsrc; src++ {
 			all = append(all, partitioned[src][dst]...)
@@ -154,7 +176,9 @@ func smGraphMerge(spEdges [][]uint64, threads int, tr *obs.Trace) []uint64 {
 			atomic.AddInt64(&deduped, int64(dropped))
 		}
 		combined[dst] = out
-	})
+	}); err != nil {
+		return nil, err
+	}
 	// ln. 17–19: size the final buffer by reduction and merge in parallel.
 	offsets := make([]int64, threads)
 	var total int64
@@ -163,10 +187,12 @@ func smGraphMerge(spEdges [][]uint64, threads int, tr *obs.Trace) []uint64 {
 		total += int64(len(combined[d]))
 	}
 	final := make([]uint64, total)
-	concur.ForThreadsT(tr, "SmGraph", threads, func(dst int) {
+	if err := concur.ForThreadsCtxT(ctx, tr, "SmGraph", threads, func(dst int) {
 		copy(final[offsets[dst]:], combined[dst])
-	})
+	}); err != nil {
+		return nil, err
+	}
 	cSmGraphDeduped.Add(deduped)
 	cSmGraphFinal.Add(total)
-	return final
+	return final, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync/atomic"
 
 	"equitruss/internal/concur"
@@ -61,16 +62,19 @@ func phiGroups(g *graph.Graph, tau []int32, threads int) (phi [][]int32, kmax in
 // spNodeBaseline computes the supernode parent array Π with SV connected
 // components where every τ lookup goes through the edge dictionary and Π
 // itself lives in a lock-striped sharded map. Returns Π flattened to roots
-// (Π[e] = NoSupernode for τ=2 edges).
-func spNodeBaseline(g *graph.Graph, tau []int32, dict edgeDict, phi [][]int32, threads int, tr *obs.Trace) []int32 {
+// (Π[e] = NoSupernode for τ=2 edges). Cancellation is checked at every
+// scheduler barrier, so the SV round loops exit promptly once ctx fires.
+func spNodeBaseline(ctx context.Context, g *graph.Graph, tau []int32, dict edgeDict, phi [][]int32, threads int, tr *obs.Trace) ([]int32, error) {
 	m := int32(g.NumEdges())
 	pi := ds.NewShardedMap(int(m))
 	// Each edge initially forms its own component (ln. 1–2).
-	concur.ForT(tr, "SpNode", int(m), threads, func(i int) {
+	if err := concur.ForCtxT(ctx, tr, "SpNode", int(m), threads, func(i int) {
 		if tau[i] >= MinK {
 			pi.Store(int64(i), int32(i))
 		}
-	})
+	}); err != nil {
+		return nil, err
+	}
 	edges := g.Edges()
 	for k := MinK; k < len(phi); k++ {
 		edgesK := phi[k]
@@ -82,7 +86,7 @@ func spNodeBaseline(g *graph.Graph, tau []int32, dict edgeDict, phi [][]int32, t
 			hooking = 0
 			// Hooking phase (ln. 10–20).
 			cSVHookRounds.Inc()
-			concur.ForRangeDynamicT(tr, "SpNode", len(edgesK), threads, 256, func(lo, hi int) {
+			err := concur.ForRangeDynamicCtxT(ctx, tr, "SpNode", len(edgesK), threads, 256, func(lo, hi int) {
 				localHook := false
 				for i := lo; i < hi; i++ {
 					e := edgesK[i]
@@ -122,9 +126,12 @@ func spNodeBaseline(g *graph.Graph, tau []int32, dict edgeDict, phi [][]int32, t
 					atomic.StoreInt32(&hooking, 1)
 				}
 			})
+			if err != nil {
+				return nil, err
+			}
 			// Shortcut phase (ln. 21–23).
 			cSVShortcutRounds.Inc()
-			concur.ForRangeDynamicT(tr, "SpNode", len(edgesK), threads, 512, func(lo, hi int) {
+			if err := concur.ForRangeDynamicCtxT(ctx, tr, "SpNode", len(edgesK), threads, 512, func(lo, hi int) {
 				for i := lo; i < hi; i++ {
 					e := int64(edgesK[i])
 					for {
@@ -136,12 +143,14 @@ func spNodeBaseline(g *graph.Graph, tau []int32, dict edgeDict, phi [][]int32, t
 						pi.Store(e, gp)
 					}
 				}
-			})
+			}); err != nil {
+				return nil, err
+			}
 		}
 	}
 	// Materialize the final flat Π for the downstream kernels.
 	out := make([]int32, m)
-	concur.ForT(tr, "SpNode", int(m), threads, func(i int) {
+	if err := concur.ForCtxT(ctx, tr, "SpNode", int(m), threads, func(i int) {
 		if tau[i] < MinK {
 			out[i] = NoSupernode
 			return
@@ -156,8 +165,10 @@ func spNodeBaseline(g *graph.Graph, tau []int32, dict edgeDict, phi [][]int32, t
 			}
 			e = int64(gp)
 		}
-	})
-	return out
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // svHookSharded attempts the SV hook "Π(Π(e1)) ← Π(e) if Π(e) < Π(e1) and
@@ -198,17 +209,20 @@ func max32(a, b int32) int32 {
 // spNodeCOptimal computes Π with the cache-optimized SV: trussness comes
 // straight from the flat tau array indexed by the CSR edge-ID slots, Π is a
 // contiguous int32 buffer updated with atomics, and already-merged partners
-// are skipped before any hooking work.
-func spNodeCOptimal(g *graph.Graph, tau []int32, phi [][]int32, threads int, tr *obs.Trace) []int32 {
+// are skipped before any hooking work. Cancellation is checked at every
+// scheduler barrier.
+func spNodeCOptimal(ctx context.Context, g *graph.Graph, tau []int32, phi [][]int32, threads int, tr *obs.Trace) ([]int32, error) {
 	m := int32(g.NumEdges())
 	pi := make([]int32, m)
-	concur.ForT(tr, "SpNode", int(m), threads, func(i int) {
+	if err := concur.ForCtxT(ctx, tr, "SpNode", int(m), threads, func(i int) {
 		if tau[i] >= MinK {
 			pi[i] = int32(i)
 		} else {
 			pi[i] = NoSupernode
 		}
-	})
+	}); err != nil {
+		return nil, err
+	}
 	for k := MinK; k < len(phi); k++ {
 		edgesK := phi[k]
 		if len(edgesK) == 0 {
@@ -218,7 +232,7 @@ func spNodeCOptimal(g *graph.Graph, tau []int32, phi [][]int32, threads int, tr 
 		for hooking != 0 {
 			hooking = 0
 			cSVHookRounds.Inc()
-			concur.ForRangeDynamicT(tr, "SpNode", len(edgesK), threads, 256, func(lo, hi int) {
+			err := concur.ForRangeDynamicCtxT(ctx, tr, "SpNode", len(edgesK), threads, 256, func(lo, hi int) {
 				localHook := false
 				for i := lo; i < hi; i++ {
 					e := edgesK[i]
@@ -237,8 +251,11 @@ func spNodeCOptimal(g *graph.Graph, tau []int32, phi [][]int32, threads int, tr 
 					atomic.StoreInt32(&hooking, 1)
 				}
 			})
+			if err != nil {
+				return nil, err
+			}
 			cSVShortcutRounds.Inc()
-			concur.ForRangeDynamicT(tr, "SpNode", len(edgesK), threads, 512, func(lo, hi int) {
+			if err := concur.ForRangeDynamicCtxT(ctx, tr, "SpNode", len(edgesK), threads, 512, func(lo, hi int) {
 				for i := lo; i < hi; i++ {
 					e := edgesK[i]
 					for {
@@ -250,11 +267,15 @@ func spNodeCOptimal(g *graph.Graph, tau []int32, phi [][]int32, threads int, tr 
 						atomic.StoreInt32(&pi[e], gp)
 					}
 				}
-			})
+			}); err != nil {
+				return nil, err
+			}
 		}
 	}
-	flattenPi(pi, tau, threads)
-	return pi
+	if err := flattenPi(ctx, pi, tau, threads); err != nil {
+		return nil, err
+	}
+	return pi, nil
 }
 
 // svHookFlat is the SV hook against the contiguous Π buffer, with the
@@ -275,8 +296,8 @@ func svHookFlat(pi []int32, e, e1 int32) bool {
 }
 
 // flattenPi points every τ>=3 edge at its component root.
-func flattenPi(pi []int32, tau []int32, threads int) {
-	concur.For(len(pi), threads, func(i int) {
+func flattenPi(ctx context.Context, pi []int32, tau []int32, threads int) error {
+	return concur.ForCtx(ctx, len(pi), threads, func(i int) {
 		if tau[i] < MinK {
 			return
 		}
@@ -311,13 +332,14 @@ const afforestSampleSize = 1024
 // skipped in the exhaustive finalization pass, which links every remaining
 // partner of every edge outside it. Exactness is preserved because the
 // final pass processes all edges not yet in the dominant component and the
-// partner relation is symmetric.
-func spNodeAfforest(g *graph.Graph, tau []int32, threads int, tr *obs.Trace) []int32 {
+// partner relation is symmetric. Cancellation is checked at every scheduler
+// barrier (link rounds, compression passes, finalization, materialization).
+func spNodeAfforest(ctx context.Context, g *graph.Graph, tau []int32, threads int, tr *obs.Trace) ([]int32, error) {
 	m := int32(g.NumEdges())
 	cuf := ds.NewConcurrentUnionFind(int(m))
 	// Link rounds over the r-th valid partner of each edge.
 	for r := 0; r < afforestNeighborRounds; r++ {
-		concur.ForRangeDynamicT(tr, "SpNode", int(m), threads, 512, func(lo, hi int) {
+		err := concur.ForRangeDynamicCtxT(ctx, tr, "SpNode", int(m), threads, 512, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				e := int32(i)
 				k := tau[e]
@@ -344,13 +366,18 @@ func spNodeAfforest(g *graph.Graph, tau []int32, threads int, tr *obs.Trace) []i
 				})
 			}
 		})
-		compressAll(cuf, threads)
+		if err != nil {
+			return nil, err
+		}
+		if err := compressAll(ctx, cuf, threads); err != nil {
+			return nil, err
+		}
 	}
 	// Component approximation: sample to find the dominant component.
 	dominant := sampleDominant(cuf, tau, m)
 	// Finalization: exhaustively link everything outside the dominant
 	// component, skipping the (typically large) fraction already settled.
-	concur.ForRangeDynamicT(tr, "SpNode", int(m), threads, 512, func(lo, hi int) {
+	err := concur.ForRangeDynamicCtxT(ctx, tr, "SpNode", int(m), threads, 512, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			e := int32(i)
 			k := tau[e]
@@ -371,22 +398,29 @@ func spNodeAfforest(g *graph.Graph, tau []int32, threads int, tr *obs.Trace) []i
 			})
 		}
 	})
-	compressAll(cuf, threads)
+	if err != nil {
+		return nil, err
+	}
+	if err := compressAll(ctx, cuf, threads); err != nil {
+		return nil, err
+	}
 	pi := make([]int32, m)
-	concur.ForT(tr, "SpNode", int(m), threads, func(i int) {
+	if err := concur.ForCtxT(ctx, tr, "SpNode", int(m), threads, func(i int) {
 		if tau[i] < MinK {
 			pi[i] = NoSupernode
 		} else {
 			pi[i] = cuf.Find(int32(i))
 		}
-	})
+	}); err != nil {
+		return nil, err
+	}
 	cUnionFindRetries.Add(cuf.Retries())
-	return pi
+	return pi, nil
 }
 
 // compressAll path-compresses every element (parallel Find pass).
-func compressAll(cuf *ds.ConcurrentUnionFind, threads int) {
-	concur.For(cuf.Len(), threads, func(i int) {
+func compressAll(ctx context.Context, cuf *ds.ConcurrentUnionFind, threads int) error {
+	return concur.ForCtx(ctx, cuf.Len(), threads, func(i int) {
 		cuf.Find(int32(i))
 	})
 }

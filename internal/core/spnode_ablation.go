@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync/atomic"
 
 	"equitruss/internal/concur"
@@ -20,20 +21,22 @@ import (
 // every edge repeatedly adopts the smallest Π among its same-k qualifying
 // triangle partners until a fixpoint. Rounds scale with the diameter of
 // the largest supernode — the weakness the paper calls out.
-func spNodeLabelProp(g *graph.Graph, tau []int32, threads int, tr *obs.Trace) []int32 {
+func spNodeLabelProp(ctx context.Context, g *graph.Graph, tau []int32, threads int, tr *obs.Trace) ([]int32, error) {
 	m := int32(g.NumEdges())
 	pi := make([]int32, m)
-	concur.ForT(tr, "SpNode", int(m), threads, func(i int) {
+	if err := concur.ForCtxT(ctx, tr, "SpNode", int(m), threads, func(i int) {
 		if tau[i] >= MinK {
 			pi[i] = int32(i)
 		} else {
 			pi[i] = NoSupernode
 		}
-	})
+	}); err != nil {
+		return nil, err
+	}
 	changed := int32(1)
 	for changed != 0 {
 		changed = 0
-		concur.ForRangeDynamicT(tr, "SpNode", int(m), threads, 512, func(lo, hi int) {
+		err := concur.ForRangeDynamicCtxT(ctx, tr, "SpNode", int(m), threads, 512, func(lo, hi int) {
 			local := false
 			for i := lo; i < hi; i++ {
 				e := int32(i)
@@ -66,8 +69,11 @@ func spNodeLabelProp(g *graph.Graph, tau []int32, threads int, tr *obs.Trace) []
 				atomic.StoreInt32(&changed, 1)
 			}
 		})
+		if err != nil {
+			return nil, err
+		}
 	}
-	return pi
+	return pi, nil
 }
 
 // spNodeBFS computes Π with repeated breadth-first traversals over edge
@@ -75,7 +81,7 @@ func spNodeLabelProp(g *graph.Graph, tau []int32, threads int, tr *obs.Trace) []
 // expands in parallel through same-k qualifying triangles. Within one
 // supernode the frontier parallelizes; across the (many) small supernodes
 // the traversal is sequential — the paper's reason to reject it.
-func spNodeBFS(g *graph.Graph, tau []int32, threads int, tr *obs.Trace) []int32 {
+func spNodeBFS(ctx context.Context, g *graph.Graph, tau []int32, threads int, tr *obs.Trace) ([]int32, error) {
 	m := int32(g.NumEdges())
 	pi := make([]int32, m)
 	for i := range pi {
@@ -87,6 +93,11 @@ func spNodeBFS(g *graph.Graph, tau []int32, threads int, tr *obs.Trace) []int32 
 	}
 	var frontier, next []int32
 	for seed := int32(0); seed < m; seed++ {
+		// The seed scan between traversals is serial; poll ctx periodically
+		// so a graph full of tiny supernodes still cancels promptly.
+		if seed&8191 == 0 && concur.Canceled(ctx) {
+			return nil, ctx.Err()
+		}
 		if tau[seed] < MinK || visited.Get(int(seed)) {
 			continue
 		}
@@ -96,7 +107,7 @@ func spNodeBFS(g *graph.Graph, tau []int32, threads int, tr *obs.Trace) []int32 
 		frontier = append(frontier[:0], seed)
 		for len(frontier) > 0 {
 			bufs := make([][]int32, threads)
-			concur.ForThreadsT(tr, "SpNode", threads, func(tid int) {
+			err := concur.ForThreadsCtxT(ctx, tr, "SpNode", threads, func(tid int) {
 				lo := tid * len(frontier) / threads
 				hi := (tid + 1) * len(frontier) / threads
 				var buf []int32
@@ -117,6 +128,9 @@ func spNodeBFS(g *graph.Graph, tau []int32, threads int, tr *obs.Trace) []int32 
 				}
 				bufs[tid] = buf
 			})
+			if err != nil {
+				return nil, err
+			}
 			next = next[:0]
 			for _, b := range bufs {
 				next = append(next, b...)
@@ -124,5 +138,5 @@ func spNodeBFS(g *graph.Graph, tau []int32, threads int, tr *obs.Trace) []int32 
 			frontier, next = next, frontier
 		}
 	}
-	return pi
+	return pi, nil
 }

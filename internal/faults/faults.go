@@ -1,0 +1,207 @@
+// Package faults is a deterministic, seed-driven fault-injection registry
+// for chaos testing the pipeline and the query server. Production code
+// threads named injection points ("sites") through its failure-prone paths
+// — binary I/O sections, the query worker pool, scheduler barriers — by
+// calling Inject(site); tests arm a subset of sites with a Plan (inject an
+// error, a delay, or a panic) and a seed, then assert the system degrades
+// cleanly: builds cancel, corrupt saves are rejected, the server sheds or
+// survives.
+//
+// When no test has called Enable, Inject is a single atomic load returning
+// nil — the registry compiles to a no-op in production, and none of the
+// plan machinery is touched.
+//
+// Determinism: each site draws from its own splitmix64 stream seeded by
+// the global seed and the site name, and fires as a pure function of its
+// per-site hit count. Two runs with the same seed, plans, and per-site hit
+// sequences make identical decisions (cross-site interleaving under
+// concurrency does not affect any site's own sequence).
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Action selects what an armed site does when it fires.
+type Action int
+
+const (
+	// Error makes Inject return an error wrapping ErrInjected.
+	Error Action = iota
+	// Delay makes Inject sleep for Plan.Delay, then return nil.
+	Delay
+	// Panic makes Inject panic with a message naming the site.
+	Panic
+)
+
+// String names the action for error messages.
+func (a Action) String() string {
+	switch a {
+	case Error:
+		return "error"
+	case Delay:
+		return "delay"
+	case Panic:
+		return "panic"
+	default:
+		return fmt.Sprintf("Action(%d)", int(a))
+	}
+}
+
+// ErrInjected is the sentinel wrapped by every injected error, so callers
+// can distinguish chaos from real failures with errors.Is.
+var ErrInjected = errors.New("injected fault")
+
+// Plan arms one site. Exactly one firing rule applies: Every > 0 fires on
+// every Every-th hit (deterministic count-based rule); otherwise P is the
+// per-hit firing probability drawn from the site's seeded stream.
+type Plan struct {
+	// Action is what happens on a firing hit.
+	Action Action
+	// P is the per-hit firing probability in [0, 1], used when Every == 0.
+	P float64
+	// Every fires on hits Every, 2·Every, ... when > 0 (overrides P).
+	Every int
+	// Delay is the sleep duration for Action == Delay.
+	Delay time.Duration
+	// MaxFires caps total firings; 0 means unlimited.
+	MaxFires int
+}
+
+type site struct {
+	plan  Plan
+	rng   uint64
+	hits  int64
+	fires int64
+}
+
+var (
+	enabled atomic.Bool
+	mu      sync.Mutex
+	sites   map[string]*site
+)
+
+// Enable activates the registry with the given seed. Previously armed
+// sites are cleared; arm sites with Set afterwards. Tests must pair this
+// with a deferred Disable so chaos never leaks into other tests.
+func Enable(seed uint64) {
+	mu.Lock()
+	defer mu.Unlock()
+	sites = make(map[string]*site)
+	seedBase = seed
+	enabled.Store(true)
+}
+
+// seedBase is the global seed mixed with each site name.
+var seedBase uint64
+
+// Disable deactivates the registry and clears every armed site; Inject
+// returns to its no-op fast path.
+func Disable() {
+	mu.Lock()
+	defer mu.Unlock()
+	enabled.Store(false)
+	sites = nil
+}
+
+// Active reports whether the registry is enabled.
+func Active() bool { return enabled.Load() }
+
+// Set arms (or re-arms) a site with a plan. No-op unless Enable was called.
+func Set(name string, p Plan) {
+	mu.Lock()
+	defer mu.Unlock()
+	if sites == nil {
+		return
+	}
+	sites[name] = &site{plan: p, rng: seedBase ^ hashName(name)}
+}
+
+// Inject is the production hook: it decides whether the named site fires
+// on this hit and performs the armed action. Unarmed sites — and the whole
+// registry when disabled — cost one atomic load and return nil.
+func Inject(name string) error {
+	if !enabled.Load() {
+		return nil
+	}
+	mu.Lock()
+	st := sites[name]
+	if st == nil {
+		mu.Unlock()
+		return nil
+	}
+	st.hits++
+	fire := false
+	if st.plan.MaxFires == 0 || st.fires < int64(st.plan.MaxFires) {
+		if st.plan.Every > 0 {
+			fire = st.hits%int64(st.plan.Every) == 0
+		} else {
+			fire = splitmixFloat(&st.rng) < st.plan.P
+		}
+	}
+	if fire {
+		st.fires++
+	}
+	plan := st.plan
+	mu.Unlock()
+	if !fire {
+		return nil
+	}
+	switch plan.Action {
+	case Delay:
+		time.Sleep(plan.Delay)
+		return nil
+	case Panic:
+		panic(fmt.Sprintf("faults: injected panic at site %q", name))
+	default:
+		return fmt.Errorf("%w at site %q", ErrInjected, name)
+	}
+}
+
+// Hits returns how many times the named site has been reached since Enable.
+func Hits(name string) int64 {
+	mu.Lock()
+	defer mu.Unlock()
+	if st := sites[name]; st != nil {
+		return st.hits
+	}
+	return 0
+}
+
+// Fires returns how many times the named site has fired since Enable.
+func Fires(name string) int64 {
+	mu.Lock()
+	defer mu.Unlock()
+	if st := sites[name]; st != nil {
+		return st.fires
+	}
+	return 0
+}
+
+// hashName is FNV-1a, inlined to keep the package dependency-free.
+func hashName(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// splitmix64 advances the per-site stream.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9E3779B97F4A7C15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// splitmixFloat draws a uniform float64 in [0, 1).
+func splitmixFloat(x *uint64) float64 {
+	return float64(splitmix64(x)>>11) / float64(1<<53)
+}

@@ -1,0 +1,121 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisabledIsNoOp(t *testing.T) {
+	Disable()
+	if Active() {
+		t.Fatal("Active after Disable")
+	}
+	for i := 0; i < 100; i++ {
+		if err := Inject("any.site"); err != nil {
+			t.Fatalf("disabled Inject returned %v", err)
+		}
+	}
+	// Set without Enable must not arm anything.
+	Set("any.site", Plan{Action: Error, P: 1})
+	if err := Inject("any.site"); err != nil {
+		t.Fatalf("Set without Enable armed a site: %v", err)
+	}
+}
+
+func TestUnarmedSiteNeverFires(t *testing.T) {
+	Enable(1)
+	defer Disable()
+	Set("armed", Plan{Action: Error, P: 1})
+	if err := Inject("other"); err != nil {
+		t.Fatalf("unarmed site fired: %v", err)
+	}
+	if err := Inject("armed"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("armed P=1 site did not fire: %v", err)
+	}
+}
+
+func TestEveryRule(t *testing.T) {
+	Enable(7)
+	defer Disable()
+	Set("s", Plan{Action: Error, Every: 3})
+	var pattern []bool
+	for i := 0; i < 9; i++ {
+		pattern = append(pattern, Inject("s") != nil)
+	}
+	want := []bool{false, false, true, false, false, true, false, false, true}
+	for i := range want {
+		if pattern[i] != want[i] {
+			t.Fatalf("Every=3 pattern %v, want %v", pattern, want)
+		}
+	}
+	if h, f := Hits("s"), Fires("s"); h != 9 || f != 3 {
+		t.Fatalf("hits=%d fires=%d, want 9/3", h, f)
+	}
+}
+
+func TestProbabilisticDeterminism(t *testing.T) {
+	run := func() []bool {
+		Enable(42)
+		defer Disable()
+		Set("p", Plan{Action: Error, P: 0.5})
+		var out []bool
+		for i := 0; i < 64; i++ {
+			out = append(out, Inject("p") != nil)
+		}
+		return out
+	}
+	a, b := run(), run()
+	fires := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at hit %d: %v vs %v", i, a, b)
+		}
+		if a[i] {
+			fires++
+		}
+	}
+	if fires == 0 || fires == 64 {
+		t.Fatalf("P=0.5 fired %d/64 times — stream looks broken", fires)
+	}
+}
+
+func TestMaxFiresCap(t *testing.T) {
+	Enable(3)
+	defer Disable()
+	Set("cap", Plan{Action: Error, P: 1, MaxFires: 2})
+	n := 0
+	for i := 0; i < 10; i++ {
+		if Inject("cap") != nil {
+			n++
+		}
+	}
+	if n != 2 {
+		t.Fatalf("MaxFires=2 fired %d times", n)
+	}
+}
+
+func TestDelayAction(t *testing.T) {
+	Enable(9)
+	defer Disable()
+	Set("slow", Plan{Action: Delay, Every: 1, Delay: 30 * time.Millisecond})
+	start := time.Now()
+	if err := Inject("slow"); err != nil {
+		t.Fatalf("delay action returned error %v", err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("delay action slept only %v", d)
+	}
+}
+
+func TestPanicAction(t *testing.T) {
+	Enable(11)
+	defer Disable()
+	Set("boom", Plan{Action: Panic, Every: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic action did not panic")
+		}
+	}()
+	Inject("boom")
+}

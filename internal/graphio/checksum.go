@@ -1,0 +1,223 @@
+package graphio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"equitruss/internal/core"
+	"equitruss/internal/faults"
+	"equitruss/internal/graph"
+	"equitruss/internal/obs"
+)
+
+// Format v2 wraps the v1 payload in CRC32C (Castagnoli) checksums so any
+// single flipped byte in a stored file is detected at load time instead of
+// surfacing as a subtly wrong index:
+//
+//	header  = magic, version, size fields, headerCRC
+//	section = payload bytes, sectionCRC          (one per array)
+//	trailer = trailerMagic, fileCRC              (fileCRC covers everything
+//	                                              before it, CRCs included)
+//
+// The header CRC is verified before any size field drives an allocation;
+// each section CRC is verified as soon as its payload is decoded; the file
+// CRC catches flips in the interleaved CRC fields themselves and in the
+// trailer magic. v1 files remain readable (with a one-time deprecation
+// warning) — they simply skip every verification.
+
+const (
+	formatV2 = uint32(2)
+
+	// trailerMagic marks the end of a v2 stream ("EQTX").
+	trailerMagic = uint32(0x45515458)
+
+	// Fault-injection sites armed by the chaos suite (internal/faults).
+	siteRead  = "graphio.read"
+	siteWrite = "graphio.write"
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+var cV1Reads = obs.GetCounter("graphio_v1_reads",
+	"checksum-less v1 binary files accepted by the graphio readers")
+
+var v1WarnOnce sync.Once
+
+// warnV1 counts a v1 read and prints the deprecation warning once per
+// process.
+func warnV1(what string) {
+	cV1Reads.Inc()
+	v1WarnOnce.Do(func() {
+		fmt.Fprintf(os.Stderr, "graphio: warning: reading legacy v1 %s file without checksums; "+
+			"re-save to upgrade to the checksummed v2 format\n", what)
+	})
+}
+
+// crcWriter accumulates a per-section CRC and a whole-file CRC over every
+// byte it forwards.
+type crcWriter struct {
+	w       io.Writer
+	file    uint32
+	section uint32
+}
+
+func (cw *crcWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.file = crc32.Update(cw.file, castagnoli, p[:n])
+	cw.section = crc32.Update(cw.section, castagnoli, p[:n])
+	return n, err
+}
+
+// endSection emits the CRC of the bytes written since the previous section
+// boundary and starts the next section.
+func (cw *crcWriter) endSection() error {
+	crc := cw.section
+	if err := binary.Write(cw, binary.LittleEndian, crc); err != nil {
+		return err
+	}
+	cw.section = 0
+	return nil
+}
+
+// writeTrailer emits the trailer magic followed by the whole-file CRC.
+func (cw *crcWriter) writeTrailer() error {
+	if err := binary.Write(cw, binary.LittleEndian, trailerMagic); err != nil {
+		return err
+	}
+	return binary.Write(cw, binary.LittleEndian, cw.file)
+}
+
+// crcReader mirrors crcWriter on the decode side.
+type crcReader struct {
+	r       io.Reader
+	file    uint32
+	section uint32
+}
+
+func (cr *crcReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.file = crc32.Update(cr.file, castagnoli, p[:n])
+	cr.section = crc32.Update(cr.section, castagnoli, p[:n])
+	return n, err
+}
+
+// endSection reads the stored section CRC and compares it against the CRC
+// of the bytes consumed since the previous boundary.
+func (cr *crcReader) endSection(what string) error {
+	got := cr.section
+	var want uint32
+	if err := binary.Read(cr, binary.LittleEndian, &want); err != nil {
+		return fmt.Errorf("graphio: reading %s checksum: %w", what, err)
+	}
+	cr.section = 0
+	if got != want {
+		return fmt.Errorf("graphio: %s checksum mismatch: computed %#x, stored %#x", what, got, want)
+	}
+	return nil
+}
+
+// checkTrailer verifies the trailer magic and the whole-file CRC.
+func (cr *crcReader) checkTrailer() error {
+	var magic uint32
+	if err := binary.Read(cr, binary.LittleEndian, &magic); err != nil {
+		return fmt.Errorf("graphio: reading trailer: %w", err)
+	}
+	if magic != trailerMagic {
+		return fmt.Errorf("graphio: bad trailer magic %#x", magic)
+	}
+	got := cr.file
+	var want uint32
+	if err := binary.Read(cr, binary.LittleEndian, &want); err != nil {
+		return fmt.Errorf("graphio: reading file checksum: %w", err)
+	}
+	if got != want {
+		return fmt.Errorf("graphio: file checksum mismatch: computed %#x, stored %#x", got, want)
+	}
+	return nil
+}
+
+// atomicWriteFile writes a file crash-safely: the payload goes to a
+// same-directory temp file which is fsynced, closed, and renamed over the
+// destination, and the directory is fsynced so the rename itself is
+// durable. A crash at any point leaves either the old file or the new one,
+// never a torn mix; stray temp files are the only possible debris.
+func atomicWriteFile(path string, fill func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("graphio: creating temp file: %w", err)
+	}
+	cleanup := func() {
+		tmp.Close()
+		os.Remove(tmp.Name())
+	}
+	if err := fill(tmp); err != nil {
+		cleanup()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("graphio: syncing %s: %w", tmp.Name(), err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("graphio: closing %s: %w", tmp.Name(), err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("graphio: renaming into place: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync() // best-effort: durability of the rename, not correctness
+		d.Close()
+	}
+	return nil
+}
+
+// WriteBinaryIndexFile atomically writes a summary graph to path in the v2
+// checksummed format (see atomicWriteFile for the crash-safety contract).
+func WriteBinaryIndexFile(path string, sg *core.SummaryGraph) error {
+	return atomicWriteFile(path, func(w io.Writer) error {
+		return WriteBinaryIndex(w, sg)
+	})
+}
+
+// ReadBinaryIndexFile reads a summary graph from a file written by
+// WriteBinaryIndexFile (or any WriteBinaryIndex stream, v1 or v2).
+func ReadBinaryIndexFile(path string) (*core.SummaryGraph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadBinaryIndex(f)
+}
+
+// WriteBinaryGraphFile atomically writes a graph to path in the v2
+// checksummed format.
+func WriteBinaryGraphFile(path string, g *graph.Graph) error {
+	return atomicWriteFile(path, func(w io.Writer) error {
+		return WriteBinaryGraph(w, g)
+	})
+}
+
+// ReadBinaryGraphFile reads a graph from a file written by
+// WriteBinaryGraphFile (or any WriteBinaryGraph stream, v1 or v2).
+func ReadBinaryGraphFile(path string) (*graph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadBinaryGraph(f)
+}
+
+// injectRead/injectWrite are the chaos hooks: no-ops unless the fault
+// harness armed the graphio sites.
+func injectRead() error  { return faults.Inject(siteRead) }
+func injectWrite() error { return faults.Inject(siteWrite) }

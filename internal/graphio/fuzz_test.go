@@ -48,8 +48,12 @@ func FuzzReadEdgeList(f *testing.F) {
 func FuzzReadBinaryIndex(f *testing.F) {
 	f.Add([]byte{0x49, 0x54, 0x51, 0x45, 1, 0, 0, 0})
 	f.Add([]byte("garbage"))
-	// Seed with a real serialized index so the mutator explores the
-	// accepted format's neighborhood, not just broken headers.
+	// Seed with real serialized indexes so the mutator explores the
+	// accepted formats' neighborhoods, not just broken headers: the current
+	// v2 stream, the legacy v1 stream, and v2 streams with a flipped byte
+	// inside each checksum field (header CRC, a section CRC, the trailer's
+	// file CRC) — the paths where the reader must reject via checksum
+	// verification rather than structural validation.
 	{
 		g := gen.PaperFigure3()
 		sup := triangle.Supports(g, 1)
@@ -59,7 +63,19 @@ func FuzzReadBinaryIndex(f *testing.F) {
 		if err := WriteBinaryIndex(&buf, sg); err != nil {
 			f.Fatal(err)
 		}
-		f.Add(buf.Bytes())
+		v2 := buf.Bytes()
+		f.Add(bytes.Clone(v2))
+		// Header CRC field sits right after magic+version (8) + sizes (32).
+		for _, pos := range []int{40, 44, len(v2) - 1, len(v2) - 5} {
+			flipped := bytes.Clone(v2)
+			flipped[pos] ^= 0xA5
+			f.Add(flipped)
+		}
+		var v1 bytes.Buffer
+		if err := writeBinaryIndexV1(&v1, sg); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(v1.Bytes())
 	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// Guard against absurd size prefixes exploding allocations: the

@@ -118,65 +118,119 @@ func readSlice[T any](r io.Reader, n int64) ([]T, error) {
 	return out, nil
 }
 
-// WriteBinaryGraph serializes the graph in the compact binary format.
+// WriteBinaryGraph serializes the graph in the compact binary format
+// (current version: v2, with CRC32C section checksums and a whole-file
+// trailer — see checksum.go for the layout).
 func WriteBinaryGraph(w io.Writer, g *graph.Graph) error {
+	if err := injectWrite(); err != nil {
+		return err
+	}
 	bw := bufio.NewWriter(w)
-	hdr := []uint32{graphMagic, formatV1}
-	for _, h := range hdr {
-		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+	cw := &crcWriter{w: bw}
+	// Header section: magic, version, sizes, then the header CRC.
+	for _, h := range []uint32{graphMagic, formatV2} {
+		if err := binary.Write(cw, binary.LittleEndian, h); err != nil {
 			return err
 		}
 	}
-	if err := binary.Write(bw, binary.LittleEndian, int64(g.NumVertices())); err != nil {
+	if err := binary.Write(cw, binary.LittleEndian, int64(g.NumVertices())); err != nil {
 		return err
 	}
-	if err := binary.Write(bw, binary.LittleEndian, g.NumEdges()); err != nil {
+	if err := binary.Write(cw, binary.LittleEndian, g.NumEdges()); err != nil {
 		return err
 	}
-	if err := binary.Write(bw, binary.LittleEndian, g.Edges()); err != nil {
+	if err := cw.endSection(); err != nil {
+		return err
+	}
+	// Edge section.
+	if err := binary.Write(cw, binary.LittleEndian, g.Edges()); err != nil {
+		return err
+	}
+	if err := cw.endSection(); err != nil {
+		return err
+	}
+	if err := cw.writeTrailer(); err != nil {
 		return err
 	}
 	return bw.Flush()
 }
 
-// ReadBinaryGraph deserializes a graph written by WriteBinaryGraph.
+// ReadBinaryGraph deserializes a graph written by WriteBinaryGraph. Both
+// the checksummed v2 format and the legacy v1 format are accepted; v1 skips
+// all verification and triggers a one-time deprecation warning.
 func ReadBinaryGraph(r io.Reader) (*graph.Graph, error) {
-	br := bufio.NewReader(r)
+	if err := injectRead(); err != nil {
+		return nil, err
+	}
+	cr := &crcReader{r: bufio.NewReader(r)}
 	var magic, version uint32
-	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+	if err := binary.Read(cr, binary.LittleEndian, &magic); err != nil {
 		return nil, err
 	}
 	if magic != graphMagic {
 		return nil, fmt.Errorf("graphio: bad graph magic %#x", magic)
 	}
-	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+	if err := binary.Read(cr, binary.LittleEndian, &version); err != nil {
 		return nil, err
 	}
-	if version != formatV1 {
+	checked := false
+	switch version {
+	case formatV1:
+		warnV1("graph")
+	case formatV2:
+		checked = true
+	default:
 		return nil, fmt.Errorf("graphio: unsupported graph format version %d", version)
 	}
 	var n, m int64
-	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+	if err := binary.Read(cr, binary.LittleEndian, &n); err != nil {
 		return nil, err
 	}
-	if err := binary.Read(br, binary.LittleEndian, &m); err != nil {
+	if err := binary.Read(cr, binary.LittleEndian, &m); err != nil {
 		return nil, err
+	}
+	if checked {
+		// Verify the header before the size fields drive any allocation.
+		if err := cr.endSection("graph header"); err != nil {
+			return nil, err
+		}
 	}
 	if n < 0 || m < 0 || n > maxSaneCount || m > maxSaneCount {
 		return nil, fmt.Errorf("graphio: corrupt header n=%d m=%d", n, m)
 	}
-	edges, err := readSlice[graph.Edge](br, m)
+	edges, err := readSlice[graph.Edge](cr, m)
 	if err != nil {
 		return nil, err
+	}
+	if checked {
+		if err := cr.endSection("graph edges"); err != nil {
+			return nil, err
+		}
+		if err := cr.checkTrailer(); err != nil {
+			return nil, err
+		}
 	}
 	return graph.FromEdgeList(edges, int32(n))
 }
 
-// WriteBinaryIndex serializes a summary graph.
+// indexSectionNames label the seven array sections of the index format,
+// in stream order, for checksum-mismatch error messages.
+var indexSectionNames = [...]string{
+	"tau", "edge-to-supernode", "supernode-k", "edge-list", "adjacency",
+	"edge-offsets", "adjacency-offsets",
+}
+
+// WriteBinaryIndex serializes a summary graph (current version: v2, with
+// CRC32C section checksums and a whole-file trailer — see checksum.go).
 func WriteBinaryIndex(w io.Writer, sg *core.SummaryGraph) error {
+	if err := injectWrite(); err != nil {
+		return err
+	}
 	bw := bufio.NewWriter(w)
-	for _, h := range []uint32{indexMagic, formatV1} {
-		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+	cw := &crcWriter{w: bw}
+	// Header section: magic, version, sizes, then the header CRC.
+	for _, h := range []uint32{indexMagic, formatV2} {
+		if err := binary.Write(cw, binary.LittleEndian, h); err != nil {
 			return err
 		}
 	}
@@ -184,41 +238,74 @@ func WriteBinaryIndex(w io.Writer, sg *core.SummaryGraph) error {
 		int64(len(sg.Tau)), int64(len(sg.K)),
 		int64(len(sg.EdgeList)), int64(len(sg.Adj)),
 	}
-	if err := binary.Write(bw, binary.LittleEndian, sizes); err != nil {
+	if err := binary.Write(cw, binary.LittleEndian, sizes); err != nil {
 		return err
 	}
+	if err := cw.endSection(); err != nil {
+		return err
+	}
+	// One checksummed section per array.
 	for _, arr := range [][]int32{sg.Tau, sg.EdgeToSN, sg.K, sg.EdgeList, sg.Adj} {
-		if err := binary.Write(bw, binary.LittleEndian, arr); err != nil {
+		if err := binary.Write(cw, binary.LittleEndian, arr); err != nil {
+			return err
+		}
+		if err := cw.endSection(); err != nil {
 			return err
 		}
 	}
 	for _, arr := range [][]int64{sg.EdgeOffsets, sg.AdjOffsets} {
-		if err := binary.Write(bw, binary.LittleEndian, arr); err != nil {
+		if err := binary.Write(cw, binary.LittleEndian, arr); err != nil {
 			return err
 		}
+		if err := cw.endSection(); err != nil {
+			return err
+		}
+	}
+	if err := cw.writeTrailer(); err != nil {
+		return err
 	}
 	return bw.Flush()
 }
 
 // ReadBinaryIndex deserializes a summary graph written by WriteBinaryIndex.
+// Both the checksummed v2 format and the legacy v1 format are accepted; v1
+// skips all verification and triggers a one-time deprecation warning. For
+// v2, the header checksum is verified before any size field drives an
+// allocation, every section checksum as its payload is decoded, and the
+// whole-file checksum at the trailer — any single flipped byte in a stored
+// v2 stream is rejected with a checksum error.
 func ReadBinaryIndex(r io.Reader) (*core.SummaryGraph, error) {
-	br := bufio.NewReader(r)
+	if err := injectRead(); err != nil {
+		return nil, err
+	}
+	cr := &crcReader{r: bufio.NewReader(r)}
 	var magic, version uint32
-	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+	if err := binary.Read(cr, binary.LittleEndian, &magic); err != nil {
 		return nil, err
 	}
 	if magic != indexMagic {
 		return nil, fmt.Errorf("graphio: bad index magic %#x", magic)
 	}
-	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+	if err := binary.Read(cr, binary.LittleEndian, &version); err != nil {
 		return nil, err
 	}
-	if version != formatV1 {
+	checked := false
+	switch version {
+	case formatV1:
+		warnV1("index")
+	case formatV2:
+		checked = true
+	default:
 		return nil, fmt.Errorf("graphio: unsupported index format version %d", version)
 	}
 	sizes := make([]int64, 4)
-	if err := binary.Read(br, binary.LittleEndian, sizes); err != nil {
+	if err := binary.Read(cr, binary.LittleEndian, sizes); err != nil {
 		return nil, err
+	}
+	if checked {
+		if err := cr.endSection("index header"); err != nil {
+			return nil, err
+		}
 	}
 	m, s, el, al := sizes[0], sizes[1], sizes[2], sizes[3]
 	for _, sz := range sizes {
@@ -227,27 +314,62 @@ func ReadBinaryIndex(r io.Reader) (*core.SummaryGraph, error) {
 		}
 	}
 	sg := &core.SummaryGraph{}
+	section := 0
+	endSection := func() error {
+		name := indexSectionNames[section]
+		section++
+		if !checked {
+			return nil
+		}
+		return cr.endSection(name + " section")
+	}
 	var err error
-	if sg.Tau, err = readSlice[int32](br, m); err != nil {
+	if sg.Tau, err = readSlice[int32](cr, m); err != nil {
 		return nil, err
 	}
-	if sg.EdgeToSN, err = readSlice[int32](br, m); err != nil {
+	if err := endSection(); err != nil {
 		return nil, err
 	}
-	if sg.K, err = readSlice[int32](br, s); err != nil {
+	if sg.EdgeToSN, err = readSlice[int32](cr, m); err != nil {
 		return nil, err
 	}
-	if sg.EdgeList, err = readSlice[int32](br, el); err != nil {
+	if err := endSection(); err != nil {
 		return nil, err
 	}
-	if sg.Adj, err = readSlice[int32](br, al); err != nil {
+	if sg.K, err = readSlice[int32](cr, s); err != nil {
 		return nil, err
 	}
-	if sg.EdgeOffsets, err = readSlice[int64](br, s+1); err != nil {
+	if err := endSection(); err != nil {
 		return nil, err
 	}
-	if sg.AdjOffsets, err = readSlice[int64](br, s+1); err != nil {
+	if sg.EdgeList, err = readSlice[int32](cr, el); err != nil {
 		return nil, err
+	}
+	if err := endSection(); err != nil {
+		return nil, err
+	}
+	if sg.Adj, err = readSlice[int32](cr, al); err != nil {
+		return nil, err
+	}
+	if err := endSection(); err != nil {
+		return nil, err
+	}
+	if sg.EdgeOffsets, err = readSlice[int64](cr, s+1); err != nil {
+		return nil, err
+	}
+	if err := endSection(); err != nil {
+		return nil, err
+	}
+	if sg.AdjOffsets, err = readSlice[int64](cr, s+1); err != nil {
+		return nil, err
+	}
+	if err := endSection(); err != nil {
+		return nil, err
+	}
+	if checked {
+		if err := cr.checkTrailer(); err != nil {
+			return nil, err
+		}
 	}
 	// The stream decoded, but nothing above guarantees the IDs inside make
 	// sense: a corrupt or mismatched index with out-of-range member edges,

@@ -4,8 +4,13 @@ import (
 	"context"
 
 	"equitruss/internal/concur"
+	"equitruss/internal/faults"
 	"equitruss/internal/obs"
 )
+
+// sitePool is the fault-injection site on the slot-reservation path; chaos
+// tests arm it to simulate a pool that fails or stalls under pressure.
+const sitePool = "server.pool"
 
 var (
 	cPoolReservations = obs.GetCounter("server_pool_reservations",
@@ -42,6 +47,10 @@ func (p *Pool) Cap() int { return cap(p.slots) }
 func (p *Pool) Reserve(ctx context.Context, want int) (int, error) {
 	if want < 1 {
 		want = 1
+	}
+	if err := faults.Inject(sitePool); err != nil {
+		cPoolRejections.Inc()
+		return 0, err
 	}
 	select {
 	case p.slots <- struct{}{}:

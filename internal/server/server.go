@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"equitruss/internal/community"
+	"equitruss/internal/faults"
 	"equitruss/internal/obs"
 )
 
@@ -37,11 +38,21 @@ var (
 		"POST /batch requests served")
 	cBatchQueries = obs.GetCounter("server_batch_queries",
 		"individual queries answered inside /batch requests")
+	cBatchDeduped = obs.GetCounter("server_batch_deduped",
+		"duplicate (vertex, k) queries collapsed inside /batch requests")
 	cRequestErrors = obs.GetCounter("server_request_errors",
 		"requests rejected with a 4xx/5xx status")
+	cLoadShed = obs.GetCounter("server_load_shed",
+		"requests rejected with 429 because the in-flight limit was reached")
+	cPanicsRecovered = obs.GetCounter("server_panics_recovered",
+		"handler panics converted to 500 responses by the recovery middleware")
 	cLatencyNS = obs.GetCounter("server_request_latency_ns",
 		"cumulative wall nanoseconds spent serving /community and /batch requests")
 )
+
+// siteQuery is the fault-injection site on the query compute path; the
+// chaos suite arms it with panics and errors to prove the server survives.
+const siteQuery = "server.query"
 
 // Config tunes a Server. The zero value picks sensible defaults.
 type Config struct {
@@ -54,6 +65,16 @@ type Config struct {
 	// MaxBatch caps the queries accepted by one /batch request; <= 0
 	// selects the default (10000). Larger bodies get 413.
 	MaxBatch int
+	// MaxInFlight caps the /community and /batch requests admitted
+	// concurrently; excess requests are shed immediately with 429 and a
+	// Retry-After hint instead of queueing without bound. 0 selects the
+	// default (256), negative disables the limit. /healthz and /metrics
+	// are never shed, so liveness probes keep passing under overload.
+	MaxInFlight int
+	// RequestTimeout bounds each /community and /batch request: the
+	// request context gets this deadline and the batch fan-out aborts
+	// (503) when it expires. <= 0 means no server-imposed deadline.
+	RequestTimeout time.Duration
 	// Tracer, when non-nil, records one span per /community and /batch
 	// request (items = queries answered). Spans accumulate unbounded, so
 	// tracing is for diagnostic runs, not steady-state serving.
@@ -61,18 +82,22 @@ type Config struct {
 }
 
 const (
-	defaultCacheSize = 4096
-	defaultMaxBatch  = 10000
+	defaultCacheSize   = 4096
+	defaultMaxBatch    = 10000
+	defaultMaxInFlight = 256
 )
 
 // Server answers community queries from one immutable index.
 type Server struct {
-	idx      *community.Index
-	cache    *Cache
-	pool     *Pool
-	tr       *obs.Trace
-	maxBatch int
-	mux      *http.ServeMux
+	idx        *community.Index
+	cache      *Cache
+	pool       *Pool
+	tr         *obs.Trace
+	maxBatch   int
+	reqTimeout time.Duration
+	inflight   chan struct{} // admission semaphore; nil = unlimited
+	mux        *http.ServeMux
+	handler    http.Handler // mux wrapped in the recovery middleware
 
 	// testHook, when set, runs inside every query computation — tests use
 	// it to hold requests open across a shutdown.
@@ -90,23 +115,76 @@ func New(idx *community.Index, cfg Config) *Server {
 		maxBatch = defaultMaxBatch
 	}
 	s := &Server{
-		idx:      idx,
-		cache:    NewCache(cacheSize),
-		pool:     NewPool(cfg.Workers),
-		tr:       cfg.Tracer,
-		maxBatch: maxBatch,
+		idx:        idx,
+		cache:      NewCache(cacheSize),
+		pool:       NewPool(cfg.Workers),
+		tr:         cfg.Tracer,
+		maxBatch:   maxBatch,
+		reqTimeout: cfg.RequestTimeout,
+	}
+	if cfg.MaxInFlight >= 0 {
+		n := cfg.MaxInFlight
+		if n == 0 {
+			n = defaultMaxInFlight
+		}
+		s.inflight = make(chan struct{}, n)
 	}
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("/community", s.handleCommunity)
-	s.mux.HandleFunc("/batch", s.handleBatch)
+	s.mux.HandleFunc("/community", s.limited(s.handleCommunity))
+	s.mux.HandleFunc("/batch", s.limited(s.handleBatch))
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.handler = s.recovered(s.mux)
 	return s
 }
 
 // Handler returns the server's HTTP handler for embedding into an existing
 // mux or an httptest server.
-func (s *Server) Handler() http.Handler { return s.mux }
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// limited is the admission middleware for the query endpoints: it sheds
+// load with 429 + Retry-After once MaxInFlight requests are being served,
+// and imposes the per-request deadline on the request context. Shedding at
+// the door costs one channel operation; the alternative — queueing without
+// bound — turns overload into memory growth and timeout cascades.
+func (s *Server) limited(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.inflight != nil {
+			select {
+			case s.inflight <- struct{}{}:
+				defer func() { <-s.inflight }()
+			default:
+				cLoadShed.Inc()
+				w.Header().Set("Retry-After", "1")
+				s.fail(w, http.StatusTooManyRequests, "server at capacity (%d requests in flight)", cap(s.inflight))
+				return
+			}
+		}
+		if s.reqTimeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.reqTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		h(w, r)
+	}
+}
+
+// recovered converts a handler panic into a 500 response and a counter
+// increment instead of killing the connection (and, for panics reached
+// through the server's own goroutines, the process). The in-flight slot
+// and pool slots are released by defers, so a panicking request leaks
+// neither.
+func (s *Server) recovered(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				cPanicsRecovered.Inc()
+				s.fail(w, http.StatusInternalServerError, "internal error: %v", p)
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
 
 // ListenAndServe serves on addr until ctx is cancelled, then shuts down
 // gracefully: the listener closes, in-flight requests drain for up to the
@@ -120,7 +198,7 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string, drain time.Dur
 	if onListen != nil {
 		onListen(ln.Addr())
 	}
-	hs := &http.Server{Handler: s.mux}
+	hs := &http.Server{Handler: s.handler}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 	select {
@@ -184,6 +262,9 @@ func (s *Server) lookup(ctx context.Context, v, k int32) ([]*community.Community
 	defer s.pool.Release(got)
 	if s.testHook != nil {
 		s.testHook()
+	}
+	if err := faults.Inject(siteQuery); err != nil {
+		return nil, false, err
 	}
 	cs := s.idx.Communities(v, k)
 	s.cache.Put(v, k, cs)
@@ -264,20 +345,36 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	// Resolve cache hits first, then fan the misses out through
-	// BatchCommunities with parallelism granted by the pool.
+	// Resolve cache hits first, collapse duplicate (vertex, k) misses to
+	// one computation each, then fan the survivors out through
+	// BatchCommunitiesCtx with parallelism granted by the pool.
 	results := make([][]*community.Community, len(req.Queries))
 	cached := make([]bool, len(req.Queries))
-	var missIdx []int
+	var missIdx []int  // original query index of each miss
+	var missSlot []int // which missQ entry answers it
 	var missQ []community.Query
+	slotOf := make(map[int64]int)
+	deduped := int64(0)
 	for i, q := range req.Queries {
 		if cs, ok := s.cache.Get(q.V, q.K); ok {
 			results[i] = cs
 			cached[i] = true
 			continue
 		}
+		key := int64(q.V)<<32 | int64(uint32(q.K))
+		slot, ok := slotOf[key]
+		if !ok {
+			slot = len(missQ)
+			slotOf[key] = slot
+			missQ = append(missQ, community.Query{Vertex: q.V, K: q.K})
+		} else {
+			deduped++
+		}
 		missIdx = append(missIdx, i)
-		missQ = append(missQ, community.Query{Vertex: q.V, K: q.K})
+		missSlot = append(missSlot, slot)
+	}
+	if deduped > 0 {
+		cBatchDeduped.Add(deduped)
 	}
 	if len(missQ) > 0 {
 		got, err := s.pool.Reserve(r.Context(), len(missQ))
@@ -285,14 +382,25 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			s.fail(w, http.StatusServiceUnavailable, "batch aborted: %v", err)
 			return
 		}
+		// Released by defer, not inline: a panic in the fan-out must not
+		// leak pool slots past the recovery middleware.
+		defer s.pool.Release(got)
 		if s.testHook != nil {
 			s.testHook()
 		}
-		out := s.idx.BatchCommunities(missQ, got)
-		s.pool.Release(got)
+		if err := faults.Inject(siteQuery); err != nil {
+			s.fail(w, http.StatusServiceUnavailable, "batch aborted: %v", err)
+			return
+		}
+		out, err := s.idx.BatchCommunitiesCtx(r.Context(), missQ, got)
+		if err != nil {
+			s.fail(w, http.StatusServiceUnavailable, "batch aborted: %v", err)
+			return
+		}
 		for j, i := range missIdx {
-			results[i] = out[j]
-			s.cache.Put(missQ[j].Vertex, missQ[j].K, out[j])
+			slot := missSlot[j]
+			results[i] = out[slot]
+			s.cache.Put(missQ[slot].Vertex, missQ[slot].K, out[slot])
 		}
 	}
 	resp := batchResponse{Results: make([]queryDoc, len(req.Queries))}

@@ -9,13 +9,16 @@
 package triangle
 
 import (
+	"context"
+
 	"equitruss/internal/concur"
 	"equitruss/internal/graph"
 	"equitruss/internal/obs"
 )
 
 // Supports returns support(e) for every edge ID, computed with the given
-// number of threads (<= 0 means all cores). SupportsT is the traced form.
+// number of threads (<= 0 means all cores). SupportsT is the traced form;
+// SupportsCtx is the cancelable form.
 func Supports(g *graph.Graph, threads int) []int32 {
 	return SupportsT(g, threads, nil)
 }
@@ -24,16 +27,32 @@ func Supports(g *graph.Graph, threads int) []int32 {
 // the dynamic scheduler records how many edges each worker claimed, which
 // is exactly the load-balance signal the kernel's chunking exists to fix.
 func SupportsT(g *graph.Graph, threads int, tr *obs.Trace) []int32 {
+	sup, err := SupportsCtx(context.Background(), g, threads, tr)
+	if err != nil {
+		// Unreachable without a cancelable context or armed fault injection;
+		// neither applies on this legacy path.
+		panic("triangle: " + err.Error())
+	}
+	return sup
+}
+
+// SupportsCtx is SupportsT with cancellation: workers check ctx between
+// dynamic chunks and the call returns ctx.Err() (and no supports) once it
+// fires, with every worker goroutine joined.
+func SupportsCtx(ctx context.Context, g *graph.Graph, threads int, tr *obs.Trace) ([]int32, error) {
 	m := int(g.NumEdges())
 	sup := make([]int32, m)
 	edges := g.Edges()
-	concur.ForRangeDynamicT(tr, "Support", m, threads, 512, func(lo, hi int) {
+	err := concur.ForRangeDynamicCtxT(ctx, tr, "Support", m, threads, 512, func(lo, hi int) {
 		for eid := lo; eid < hi; eid++ {
 			e := edges[eid]
 			sup[eid] = g.CommonNeighborCount(e.U, e.V)
 		}
 	})
-	return sup
+	if err != nil {
+		return nil, err
+	}
+	return sup, nil
 }
 
 // SupportsGalloping is Supports with a galloping (binary-probing)

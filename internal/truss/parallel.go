@@ -1,6 +1,7 @@
 package truss
 
 import (
+	"context"
 	"math"
 	"sync/atomic"
 
@@ -43,10 +44,22 @@ func DecomposeParallel(g *graph.Graph, supports []int32, threads int) (tau []int
 // sub-round's processing pass emits per-thread "TrussDecomp" spans into tr,
 // and the peeling counters above accumulate regardless of tracing.
 func DecomposeParallelT(g *graph.Graph, supports []int32, threads int, tr *obs.Trace) (tau []int32, kmax int32) {
+	tau, kmax, err := DecomposeParallelCtx(context.Background(), g, supports, threads, tr)
+	if err != nil {
+		// Unreachable without a cancelable context or armed fault injection.
+		panic("truss: " + err.Error())
+	}
+	return tau, kmax
+}
+
+// DecomposeParallelCtx is DecomposeParallelT with cancellation: the peel
+// checks ctx at every scheduler barrier and between sub-rounds, returning
+// ctx.Err() (and no trussness) promptly with all workers joined.
+func DecomposeParallelCtx(ctx context.Context, g *graph.Graph, supports []int32, threads int, tr *obs.Trace) (tau []int32, kmax int32, err error) {
 	m := int32(g.NumEdges())
 	tau = make([]int32, m)
 	if m == 0 {
-		return tau, MinTrussness
+		return tau, MinTrussness, nil
 	}
 	if threads <= 0 {
 		threads = concur.MaxThreads()
@@ -65,7 +78,10 @@ func DecomposeParallelT(g *graph.Graph, supports []int32, threads int, tr *obs.T
 		cPeelLevels.Inc()
 		// Collect the initial frontier for this level, learning the minimum
 		// surviving support in the same pass.
-		curr, minAlive := collectFrontier(sup, deleted, level, threads, tr)
+		curr, minAlive, err := collectFrontier(ctx, sup, deleted, level, threads, tr)
+		if err != nil {
+			return nil, 0, err
+		}
 		if len(curr) == 0 {
 			// No alive edge at or below this level: jump straight to the
 			// lowest surviving support instead of rescanning once per empty
@@ -78,11 +94,13 @@ func DecomposeParallelT(g *graph.Graph, supports []int32, threads int, tr *obs.T
 		for len(curr) > 0 {
 			cPeelSubrounds.Inc()
 			n := len(curr)
-			concur.ForT(tr, "TrussDecomp", n, threads, func(i int) { inCurr.SetAtomic(int(curr[i])) })
+			if err := concur.ForCtxT(ctx, tr, "TrussDecomp", n, threads, func(i int) { inCurr.SetAtomic(int(curr[i])) }); err != nil {
+				return nil, 0, err
+			}
 			for t := range nextBufs {
 				nextBufs[t] = nextBufs[t][:0]
 			}
-			concur.ForThreadsT(tr, "TrussDecomp", threads, func(tid int) {
+			err := concur.ForThreadsCtxT(ctx, tr, "TrussDecomp", threads, func(tid int) {
 				lo := tid * n / threads
 				hi := (tid + 1) * n / threads
 				next := nextBufs[tid]
@@ -120,12 +138,17 @@ func DecomposeParallelT(g *graph.Graph, supports []int32, threads int, tr *obs.T
 				cPeelDecrements.Add(decs)
 				cPeelCaptures.Add(int64(len(next)))
 			})
+			if err != nil {
+				return nil, 0, err
+			}
 			// Retire the processed frontier.
-			concur.ForT(tr, "TrussDecomp", n, threads, func(i int) {
+			if err := concur.ForCtxT(ctx, tr, "TrussDecomp", n, threads, func(i int) {
 				e := curr[i]
 				inCurr.ClearAtomic(int(e))
 				deleted.SetAtomic(int(e))
-			})
+			}); err != nil {
+				return nil, 0, err
+			}
 			remaining -= int64(n)
 			curr = curr[:0]
 			for t := range nextBufs {
@@ -134,7 +157,7 @@ func DecomposeParallelT(g *graph.Graph, supports []int32, threads int, tr *obs.T
 		}
 		level++
 	}
-	return tau, KMax(tau)
+	return tau, KMax(tau), nil
 }
 
 // decCapture atomically decrements sup[e] and appends e to next exactly
@@ -154,11 +177,11 @@ func decCapture(sup []int32, e, level int32, next []int32, decs *int64) []int32 
 // per-thread buffers. It also returns the minimum support among the alive
 // edges left out of the frontier (math.MaxInt32 when none remain) so the
 // caller can jump over empty levels without another scan.
-func collectFrontier(sup []int32, deleted *ds.Bitset, level int32, threads int, tr *obs.Trace) ([]int32, int32) {
+func collectFrontier(ctx context.Context, sup []int32, deleted *ds.Bitset, level int32, threads int, tr *obs.Trace) ([]int32, int32, error) {
 	m := len(sup)
 	bufs := make([][]int32, threads)
 	mins := make([]int32, threads)
-	concur.ForThreadsT(tr, "TrussDecomp", threads, func(tid int) {
+	err := concur.ForThreadsCtxT(ctx, tr, "TrussDecomp", threads, func(tid int) {
 		lo := tid * m / threads
 		hi := (tid + 1) * m / threads
 		var buf []int32
@@ -176,6 +199,9 @@ func collectFrontier(sup []int32, deleted *ds.Bitset, level int32, threads int, 
 		bufs[tid] = buf
 		mins[tid] = min
 	})
+	if err != nil {
+		return nil, 0, err
+	}
 	var out []int32
 	minAlive := int32(math.MaxInt32)
 	for t, b := range bufs {
@@ -184,5 +210,5 @@ func collectFrontier(sup []int32, deleted *ds.Bitset, level int32, threads int, 
 			minAlive = mins[t]
 		}
 	}
-	return out, minAlive
+	return out, minAlive, nil
 }

@@ -10,6 +10,8 @@
 package truss
 
 import (
+	"context"
+
 	"equitruss/internal/ds"
 	"equitruss/internal/graph"
 )
@@ -23,10 +25,22 @@ const MinTrussness = 2
 // per-edge triangle counts (see package triangle); it is not modified.
 // Returns the trussness array indexed by edge ID and kmax = max τ.
 func DecomposeSerial(g *graph.Graph, supports []int32) (tau []int32, kmax int32) {
+	tau, kmax, _ = DecomposeSerialCtx(nil, g, supports)
+	return tau, kmax
+}
+
+// DecomposeSerialCtx is DecomposeSerial with cancellation: the peel loop
+// polls ctx every few thousand pops and returns ctx.Err() (and no
+// trussness) once it fires. A nil context is never canceled.
+func DecomposeSerialCtx(ctx context.Context, g *graph.Graph, supports []int32) (tau []int32, kmax int32, err error) {
 	m := int32(g.NumEdges())
 	tau = make([]int32, m)
 	if m == 0 {
-		return tau, MinTrussness
+		return tau, MinTrussness, nil
+	}
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
 	}
 	var maxSup int32
 	for _, s := range supports {
@@ -36,7 +50,15 @@ func DecomposeSerial(g *graph.Graph, supports []int32) (tau []int32, kmax int32)
 	}
 	q := ds.NewBucketQueue(supports, maxSup)
 	level := int32(0)
+	pops := 0
 	for !q.Empty() {
+		if pops++; pops&4095 == 0 && done != nil {
+			select {
+			case <-done:
+				return nil, 0, ctx.Err()
+			default:
+			}
+		}
 		e, s := q.PopMin()
 		if s > level {
 			level = s
@@ -51,7 +73,7 @@ func DecomposeSerial(g *graph.Graph, supports []int32) (tau []int32, kmax int32)
 			return true
 		})
 	}
-	return tau, level + 2
+	return tau, level + 2, nil
 }
 
 // KMax returns the maximum trussness in a decomposition result.
