@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench repro examples ci serversmoke chaos clean
+.PHONY: all build test race bench benchcheck repro examples ci serversmoke chaos clean
 
 all: build test
 
@@ -29,7 +29,16 @@ ci: serversmoke chaos
 	fi
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/concur ./internal/cc
+	$(GO) test -race ./internal/concur ./internal/cc ./internal/triangle
+	$(MAKE) benchcheck
+
+# Support-stage perf regression gate: rerun the kernel sweep and compare
+# each kernel's time — normalized by the same run's merge time, so absolute
+# machine speed cancels — against the committed baseline. Fails on a >20%
+# normalized regression. Artifacts land in bench/ (gitignored except the
+# committed baseline + reference pair).
+benchcheck:
+	$(GO) run ./cmd/benchsuite -experiment support -scale 0.05 -out bench/ -check bench/baseline.json
 
 # Race-enabled server smoke: 64 concurrent clients hammer one handler
 # (httptest) mixing cached singles and pooled batches, answers checked

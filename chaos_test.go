@@ -16,7 +16,11 @@ import (
 	"time"
 
 	"equitruss"
+	"equitruss/internal/cc"
+	"equitruss/internal/core"
 	"equitruss/internal/faults"
+	"equitruss/internal/triangle"
+	"equitruss/internal/truss"
 )
 
 // chaosWaitGoroutines polls until the goroutine count returns to base —
@@ -124,6 +128,56 @@ func TestChaosBarrierFault(t *testing.T) {
 	}
 	if sg.Canonical(g) != canon {
 		t.Fatal("rebuild after injected failure disagrees with the serial oracle")
+	}
+}
+
+// TestChaosLegacyAPIsImmuneToBarrierFaults: the no-error legacy APIs
+// (Supports, Trussness, the *T wrappers in internal packages) run on
+// non-cancelable contexts excluded from fault injection, so arming the
+// scheduler barrier site must neither panic them nor corrupt their output —
+// while the ctx-taking APIs in the same process still observe the injected
+// fault. Regression test for the wrappers panicking on "unreachable"
+// injected errors.
+func TestChaosLegacyAPIsImmuneToBarrierFaults(t *testing.T) {
+	g := equitruss.GenerateRMAT(10, 6, 7)
+	wantSup := equitruss.Supports(g, 2)
+	wantTau := equitruss.Trussness(g, 2)
+
+	faults.Enable(17)
+	defer faults.Disable()
+	faults.Set("concur.barrier", faults.Plan{Action: faults.Error, Every: 1})
+
+	for _, k := range []equitruss.SupportKernel{
+		equitruss.KernelAuto, equitruss.KernelMerge, equitruss.KernelGalloping, equitruss.KernelOriented,
+	} {
+		sup := equitruss.SupportsWithKernel(g, k, 4)
+		for i := range wantSup {
+			if sup[i] != wantSup[i] {
+				t.Fatalf("kernel %v under armed barrier: support[%d] = %d, want %d", k, i, sup[i], wantSup[i])
+			}
+		}
+	}
+	tau := equitruss.Trussness(g, 4)
+	for i := range wantTau {
+		if tau[i] != wantTau[i] {
+			t.Fatalf("Trussness under armed barrier: tau[%d] = %d, want %d", i, tau[i], wantTau[i])
+		}
+	}
+	// Internal legacy wrappers ride the same exclusion.
+	triangle.SupportsT(g, 4, nil)
+	truss.DecomposeParallelT(g, wantSup, 4, nil)
+	cc.ShiloachVishkin(g, 4)
+	cc.Afforest(g, 4)
+	cc.LabelPropagation(g, 4)
+	cc.BFS(g, 4)
+	core.Build(g, wantTau, core.VariantAfforest, 4)
+
+	// The exclusion is scoped to the legacy wrappers: a ctx-taking build in
+	// the same process must still see the injection.
+	if _, _, err := equitruss.BuildSummary(g, equitruss.Options{
+		Variant: equitruss.COptimal, Threads: 4, Context: context.Background(),
+	}); !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("ctx build under armed barrier returned %v, want ErrInjected", err)
 	}
 }
 

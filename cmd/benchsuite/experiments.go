@@ -31,7 +31,7 @@ func runFig2(cfg config) {
 	for _, name := range nets {
 		g := dataset(cfg, name)
 		start := time.Now()
-		sup := triangle.Supports(g, 1)
+		sup := triangle.SupportsKernel(g, cfg.kernel, 1)
 		supportT := time.Since(start)
 		start = time.Now()
 		tau, _ := truss.DecomposeSerial(g, sup)
@@ -52,7 +52,7 @@ func runFig4(cfg config) {
 	for _, name := range fourNets {
 		g := dataset(cfg, name)
 		start := time.Now()
-		sup := triangle.Supports(g, 1)
+		sup := triangle.SupportsKernel(g, cfg.kernel, 1)
 		supportT := time.Since(start)
 		tau, _ := truss.DecomposeSerial(g, sup)
 		_, tm := core.Build(g, tau, core.VariantBaseline, 1)

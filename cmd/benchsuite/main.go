@@ -18,8 +18,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"runtime"
+	"runtime/debug"
+	"strings"
 	"time"
 
 	"equitruss/internal/concur"
@@ -34,32 +37,42 @@ type experiment struct {
 	id    string
 	title string
 	run   func(cfg config)
+	// onlyExplicit experiments are skipped by -experiment all: they are
+	// either too slow for a routine sweep (rmat18) or meaningful only with
+	// dedicated flags.
+	onlyExplicit bool
 }
 
 type config struct {
-	scale   float64 // dataset size factor
-	maxThr  int     // top of the thread sweep
+	scale   float64         // dataset size factor
+	maxThr  int             // top of the thread sweep
+	kernel  triangle.Kernel // Support kernel for all triangle counting
 	verbose bool
-	sink    *tsvSink // optional TSV mirror of every table
+	sink    *tsvSink       // optional TSV mirror of every table
+	art     *benchArtifact // run artifact; experiments may append rows
 }
 
 var experiments = []experiment{
-	{"tab3", "Table 3: dataset inventory", runTab3},
-	{"fig2", "Figure 2: serial pipeline kernel breakdown (%)", runFig2},
-	{"fig4", "Figure 4: Baseline parallel kernel breakdown (%), 1 thread", runFig4},
-	{"fig5", "Figure 5: single-thread SpNode speedup by variant", runFig5},
-	{"fig6", "Figure 6: strong scaling of index construction", runFig6},
-	{"fig7", "Figure 7: SpNode scaling on friendster-sim", runFig7},
-	{"fig8", "Figure 8: kernel breakdown across thread counts", runFig8},
-	{"fig9", "Figure 9: parallel efficiency", runFig9},
-	{"tab4", "Table 4: single-thread comparison incl. Original (serial)", runTab4},
-	{"tab5", "Table 5: index sizes and parallel speedups", runTab5},
+	{"tab3", "Table 3: dataset inventory", runTab3, false},
+	{"fig2", "Figure 2: serial pipeline kernel breakdown (%)", runFig2, false},
+	{"fig4", "Figure 4: Baseline parallel kernel breakdown (%), 1 thread", runFig4, false},
+	{"fig5", "Figure 5: single-thread SpNode speedup by variant", runFig5, false},
+	{"fig6", "Figure 6: strong scaling of index construction", runFig6, false},
+	{"fig7", "Figure 7: SpNode scaling on friendster-sim", runFig7, false},
+	{"fig8", "Figure 8: kernel breakdown across thread counts", runFig8, false},
+	{"fig9", "Figure 9: parallel efficiency", runFig9, false},
+	{"tab4", "Table 4: single-thread comparison incl. Original (serial)", runTab4, false},
+	{"tab5", "Table 5: index sizes and parallel speedups", runTab5, false},
+	{"support", "Support kernel sweep: merge vs gallop vs oriented", runSupport, false},
+	{"rmat18", "RMAT scale-18 skewed graph: Support + Decompose (honors -support-kernel)", runRMAT18, true},
 }
 
 func main() {
-	expID := flag.String("experiment", "all", "experiment id (tab3, fig2, ..., tab5) or 'all'")
+	expID := flag.String("experiment", "all", "experiment id (tab3, fig2, ..., tab5, support, rmat18) or 'all'")
 	scale := flag.Float64("scale", 0.25, "dataset size factor (1.0 = paper-surrogate default size)")
 	maxThr := flag.Int("maxthreads", concur.MaxThreads(), "top of the thread sweep")
+	kernelName := flag.String("support-kernel", "auto", "Support kernel: auto|merge|gallop|oriented")
+	check := flag.String("check", "", "baseline BENCH_*.json: fail if the Support stage regressed >20% vs it")
 	list := flag.Bool("list", false, "list experiments and exit")
 	verbose := flag.Bool("v", false, "verbose progress")
 	outDir := flag.String("out", "", "directory for TSV copies of every table (plot-ready)")
@@ -67,26 +80,33 @@ func main() {
 
 	if *list {
 		for _, e := range experiments {
-			fmt.Printf("%-5s %s\n", e.id, e.title)
+			fmt.Printf("%-7s %s\n", e.id, e.title)
 		}
 		return
 	}
-	cfg := config{scale: *scale, maxThr: *maxThr, verbose: *verbose}
+	kernel, err := triangle.ParseKernel(*kernelName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchsuite: %v\n", err)
+		os.Exit(2)
+	}
+	art := &benchArtifact{
+		Timestamp:     time.Now().UTC().Format(time.RFC3339),
+		GitRev:        gitRev(),
+		CPUs:          runtime.NumCPU(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Scale:         *scale,
+		MaxThreads:    *maxThr,
+		SupportKernel: kernel.String(),
+	}
+	cfg := config{scale: *scale, maxThr: *maxThr, kernel: kernel, verbose: *verbose, art: art}
 	if *outDir != "" {
 		cfg.sink = &tsvSink{dir: *outDir}
 	}
-	fmt.Printf("# benchsuite: %d CPUs, GOMAXPROCS=%d, scale=%.2f\n\n",
-		runtime.NumCPU(), runtime.GOMAXPROCS(0), cfg.scale)
-	art := benchArtifact{
-		Timestamp:  time.Now().UTC().Format(time.RFC3339),
-		CPUs:       runtime.NumCPU(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Scale:      cfg.scale,
-		MaxThreads: cfg.maxThr,
-	}
+	fmt.Printf("# benchsuite: %d CPUs, GOMAXPROCS=%d, scale=%.2f, kernel=%s, rev=%s\n\n",
+		runtime.NumCPU(), runtime.GOMAXPROCS(0), cfg.scale, kernel, art.GitRev)
 	ran := false
 	for _, e := range experiments {
-		if *expID == "all" || *expID == e.id {
+		if (*expID == "all" && !e.onlyExplicit) || *expID == e.id {
 			fmt.Printf("== %s ==\n", e.title)
 			start := time.Now()
 			e.run(cfg)
@@ -103,25 +123,66 @@ func main() {
 		os.Exit(2)
 	}
 	art.Counters = obs.DefaultRegistry().Snapshot()
-	if path, err := writeArtifact(*outDir, art); err != nil {
+	if path, err := writeArtifact(*outDir, *art); err != nil {
 		fmt.Fprintf(os.Stderr, "benchsuite: artifact: %v\n", err)
 		os.Exit(1)
 	} else {
 		fmt.Printf("# artifact written to %s\n", path)
 	}
+	if *check != "" {
+		if err := checkAgainstBaseline(*check, art); err != nil {
+			fmt.Fprintf(os.Stderr, "benchsuite: benchcheck FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("# benchcheck OK vs %s\n", *check)
+	}
+}
+
+// gitRev identifies the commit a benchmark artifact was produced at, so
+// BENCH_*.json files are comparable across the repo's history. Binaries
+// built with module VCS stamping carry it in build info; `go run` from a
+// work tree does not, so fall back to asking git directly.
+func gitRev() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && len(s.Value) >= 12 {
+				return s.Value[:12]
+			}
+		}
+	}
+	out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output()
+	if err == nil {
+		return strings.TrimSpace(string(out))
+	}
+	return "unknown"
 }
 
 // benchArtifact is the machine-readable record of one benchsuite run,
 // written as BENCH_<timestamp>.json so perf trajectories can be compared
 // across commits without scraping stdout.
 type benchArtifact struct {
-	Timestamp   string             `json:"timestamp"`
-	CPUs        int                `json:"cpus"`
-	GOMAXPROCS  int                `json:"gomaxprocs"`
-	Scale       float64            `json:"scale"`
-	MaxThreads  int                `json:"max_threads"`
-	Experiments []experimentResult `json:"experiments"`
-	Counters    []obs.CounterValue `json:"counters,omitempty"`
+	Timestamp     string             `json:"timestamp"`
+	GitRev        string             `json:"git_rev"`
+	CPUs          int                `json:"cpus"`
+	GOMAXPROCS    int                `json:"gomaxprocs"`
+	Scale         float64            `json:"scale"`
+	MaxThreads    int                `json:"max_threads"`
+	SupportKernel string             `json:"support_kernel"`
+	Experiments   []experimentResult `json:"experiments"`
+	SupportBench  []supportRow       `json:"support_bench,omitempty"`
+	Counters      []obs.CounterValue `json:"counters,omitempty"`
+}
+
+// supportRow is one timed Support-stage measurement: a (dataset, kernel)
+// cell of the kernel sweep. Seconds is the minimum over reps; Checksum is
+// an FNV-1a hash of the support array, so artifacts also witness that the
+// kernels agreed on the answer, not just the time.
+type supportRow struct {
+	Dataset  string  `json:"dataset"`
+	Kernel   string  `json:"kernel"`
+	Threads  int     `json:"threads"`
+	Seconds  float64 `json:"seconds"`
+	Checksum uint64  `json:"checksum"`
 }
 
 type experimentResult struct {
@@ -182,7 +243,7 @@ func trussness(cfg config, name string, g *graph.Graph) []int32 {
 	if tau, ok := tauCache[key]; ok {
 		return tau
 	}
-	sup := triangle.Supports(g, 0)
+	sup := triangle.SupportsKernel(g, cfg.kernel, 0)
 	tau, _ := truss.DecomposeParallel(g, sup, 0)
 	tauCache[key] = tau
 	return tau

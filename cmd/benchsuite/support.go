@@ -1,0 +1,205 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"time"
+
+	"equitruss/internal/gen"
+	"equitruss/internal/graph"
+	"equitruss/internal/triangle"
+	"equitruss/internal/truss"
+)
+
+// supportReps is how many times each (dataset, kernel) cell is timed; the
+// minimum is recorded. Min-of-N is the standard defense against scheduler
+// noise for short single-process benchmarks.
+const supportReps = 3
+
+// supportKernels is the sweep order. Merge first: the check mode normalizes
+// every kernel's time by the same run's merge time, so merge rows must
+// exist before ratios are formed.
+var supportKernels = []triangle.Kernel{
+	triangle.KernelMerge, triangle.KernelGalloping, triangle.KernelOriented,
+}
+
+// runSupport times every explicit Support kernel on the four-network set
+// and records (dataset, kernel, seconds, checksum) rows into the artifact.
+// All kernels must produce identical support arrays — a mismatch is a
+// correctness bug, so the experiment panics rather than reporting a time
+// for a wrong answer.
+func runSupport(cfg config) {
+	t := newTable("Network", "Kernel", "Seconds", "vsMerge")
+	for _, name := range fourNets {
+		g := dataset(cfg, name)
+		mergeSec := 0.0
+		var want uint64
+		for i, k := range supportKernels {
+			sec, sum := timeSupport(g, k, cfg.maxThr)
+			if i == 0 {
+				mergeSec, want = sec, sum
+			} else if sum != want {
+				panic(fmt.Sprintf("support kernel %s disagrees with merge on %s: checksum %#x != %#x",
+					k, name, sum, want))
+			}
+			t.row(name, k.String(), sec, mergeSec/sec)
+			if cfg.art != nil {
+				cfg.art.SupportBench = append(cfg.art.SupportBench, supportRow{
+					Dataset: name, Kernel: k.String(), Threads: cfg.maxThr,
+					Seconds: sec, Checksum: sum,
+				})
+			}
+		}
+	}
+	emit(cfg.sink, "support", "", t)
+}
+
+// rmat18Scale and rmat18EdgeFactor define the skewed stress graph from the
+// acceptance criteria: 2^18 vertices, ~2M undirected edges, heavy-tailed
+// degree distribution where the oriented kernel's O(m^1.5) bound beats
+// merge's hub-quadratic intersections.
+const (
+	rmat18Scale      = 18
+	rmat18EdgeFactor = 8
+	rmat18Seed       = 42
+)
+
+// runRMAT18 builds the scale-18 RMAT graph and times the Support stage with
+// the configured -support-kernel (auto resolves per the heuristic), then
+// runs the truss decomposition so the artifact also witnesses the supports
+// feed a correct downstream τ. Excluded from `-experiment all`: it is the
+// committed-artifact producer, run explicitly once per kernel.
+func runRMAT18(cfg config) {
+	g := gen.RMAT(rmat18Scale, rmat18EdgeFactor, 0.57, 0.19, 0.19, rmat18Seed)
+	fmt.Printf("rmat18: %d vertices, %d edges, kernel=%s\n",
+		g.NumVertices(), g.NumEdges(), cfg.kernel)
+	sec, sum := timeSupport(g, cfg.kernel, cfg.maxThr)
+	sup := triangle.SupportsKernel(g, cfg.kernel, cfg.maxThr)
+	start := time.Now()
+	tau, _ := truss.DecomposeParallel(g, sup, cfg.maxThr)
+	decompSec := time.Since(start).Seconds()
+	t := newTable("Graph", "Kernel", "Support(s)", "Decompose(s)", "SupSum", "TauSum")
+	t.row("rmat18", cfg.kernel.String(), sec, decompSec, sum, checksumInt32(tau))
+	if cfg.art != nil {
+		cfg.art.SupportBench = append(cfg.art.SupportBench, supportRow{
+			Dataset: "rmat18", Kernel: cfg.kernel.String(), Threads: cfg.maxThr,
+			Seconds: sec, Checksum: sum,
+		})
+	}
+	emit(cfg.sink, "rmat18", "", t)
+}
+
+// timeSupport returns the min-of-reps Support time in seconds and the
+// FNV-1a checksum of the resulting support array.
+func timeSupport(g *graph.Graph, k triangle.Kernel, threads int) (float64, uint64) {
+	best := 0.0
+	var sum uint64
+	for r := 0; r < supportReps; r++ {
+		start := time.Now()
+		sup := triangle.SupportsKernel(g, k, threads)
+		sec := time.Since(start).Seconds()
+		if r == 0 || sec < best {
+			best = sec
+		}
+		sum = checksumInt32(sup)
+	}
+	return best, sum
+}
+
+// checksumInt32 hashes an int32 array with FNV-1a — order-sensitive, so two
+// kernels match only if they agree edge-for-edge.
+func checksumInt32(a []int32) uint64 {
+	h := fnv.New64a()
+	var buf [4]byte
+	for _, v := range a {
+		buf[0] = byte(v)
+		buf[1] = byte(v >> 8)
+		buf[2] = byte(v >> 16)
+		buf[3] = byte(v >> 24)
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// --- benchcheck: regression gate against a committed baseline ---------------
+
+// checkNoiseFloorSec: datasets whose merge time is below this are too small
+// to time reliably; their ratios are skipped rather than flagged.
+const checkNoiseFloorSec = 0.002
+
+// checkMargin: a kernel's normalized time (its seconds / the same run's
+// merge seconds) may exceed the baseline's normalized time by at most this
+// factor. Ratios of ratios cancel machine speed, so the committed baseline
+// stays meaningful on any hardware.
+const checkMargin = 1.20
+
+// checkAgainstBaseline compares the current run's SupportBench rows against
+// a committed baseline artifact. For every (dataset, kernel) present in
+// both, it forms time/mergeTime within each artifact and fails if the
+// current ratio regressed more than checkMargin over the baseline ratio.
+func checkAgainstBaseline(path string, art *benchArtifact) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base benchArtifact
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	if len(art.SupportBench) == 0 {
+		return fmt.Errorf("current run produced no support_bench rows (run -experiment support)")
+	}
+	if len(base.SupportBench) == 0 {
+		return fmt.Errorf("baseline %s has no support_bench rows", path)
+	}
+	baseMerge := mergeSeconds(base.SupportBench)
+	curMerge := mergeSeconds(art.SupportBench)
+	checked := 0
+	for _, row := range art.SupportBench {
+		if row.Kernel == "merge" {
+			continue
+		}
+		bm, okB := baseMerge[row.Dataset]
+		cm, okC := curMerge[row.Dataset]
+		if !okB || !okC || bm < checkNoiseFloorSec || cm < checkNoiseFloorSec {
+			continue
+		}
+		var baseSec float64
+		found := false
+		for _, b := range base.SupportBench {
+			if b.Dataset == row.Dataset && b.Kernel == row.Kernel {
+				baseSec, found = b.Seconds, true
+				break
+			}
+		}
+		if !found {
+			continue
+		}
+		curRatio := row.Seconds / cm
+		baseRatio := baseSec / bm
+		checked++
+		if curRatio > baseRatio*checkMargin {
+			return fmt.Errorf("%s/%s: normalized Support time %.3f (was %.3f in baseline %s) — >%.0f%% regression",
+				row.Dataset, row.Kernel, curRatio, baseRatio, base.GitRev, (checkMargin-1)*100)
+		}
+		fmt.Printf("# benchcheck %s/%-8s ratio %.3f vs baseline %.3f ok\n",
+			row.Dataset, row.Kernel, curRatio, baseRatio)
+	}
+	if checked == 0 {
+		return fmt.Errorf("no comparable (dataset, kernel) rows above the %.0fms noise floor", checkNoiseFloorSec*1000)
+	}
+	return nil
+}
+
+// mergeSeconds indexes the merge-kernel time per dataset.
+func mergeSeconds(rows []supportRow) map[string]float64 {
+	out := map[string]float64{}
+	for _, r := range rows {
+		if r.Kernel == "merge" {
+			out[r.Dataset] = r.Seconds
+		}
+	}
+	return out
+}

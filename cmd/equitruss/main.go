@@ -63,9 +63,9 @@ func main() {
 
 func usage() {
 	fmt.Fprint(os.Stderr, `usage:
-  equitruss build -graph <path|dataset:name[:factor]> [-variant serial|baseline|coptimal|afforest] [-threads N] [-out index.bin]
+  equitruss build -graph <path|dataset:name[:factor]> [-variant serial|baseline|coptimal|afforest] [-support-kernel auto|merge|gallop|oriented] [-threads N] [-out index.bin]
   equitruss query -graph <...> (-index index.bin | -variant ...) -vertex V -k K
-  equitruss stats -graph <...> [-variant ...] [-threads N]
+  equitruss stats -graph <...> [-variant ...] [-support-kernel ...] [-threads N]
   equitruss export -graph <...> [-what summary|graph] [-out file.dot]
   equitruss serve -graph <...> [-index index.bin | -variant ...] [-addr :8080] [-cache N] [-workers N] [-maxbatch N] [-drain 10s]
 `)
@@ -116,6 +116,7 @@ func runBuildCtx(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("build", flag.ExitOnError)
 	graphSpec := fs.String("graph", "", "edge-list path or dataset:<name>[:<factor>]")
 	variantName := fs.String("variant", "afforest", "serial|baseline|coptimal|afforest")
+	kernelName := fs.String("support-kernel", "auto", "Support kernel: auto|merge|gallop|oriented")
 	threads := fs.Int("threads", 0, "threads (0 = all cores)")
 	out := fs.String("out", "", "write binary index to this path")
 	obsf := addObsFlags(fs)
@@ -124,6 +125,10 @@ func runBuildCtx(ctx context.Context, args []string) error {
 		return fmt.Errorf("-graph is required")
 	}
 	variant, err := parseVariant(*variantName)
+	if err != nil {
+		return err
+	}
+	kernel, err := equitruss.ParseSupportKernel(*kernelName)
 	if err != nil {
 		return err
 	}
@@ -137,7 +142,7 @@ func runBuildCtx(ctx context.Context, args []string) error {
 		return err
 	}
 	sg, tm, err := equitruss.BuildSummary(g, equitruss.Options{
-		Variant: variant, Threads: *threads, Tracer: tr, Context: ctx,
+		Variant: variant, Threads: *threads, SupportKernel: kernel, Tracer: tr, Context: ctx,
 	})
 	if err != nil {
 		if ctx.Err() != nil {
@@ -221,6 +226,7 @@ func runStats(args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	graphSpec := fs.String("graph", "", "edge-list path or dataset:<name>[:<factor>]")
 	variantName := fs.String("variant", "afforest", "variant")
+	kernelName := fs.String("support-kernel", "auto", "Support kernel: auto|merge|gallop|oriented")
 	threads := fs.Int("threads", 0, "threads (0 = all cores)")
 	jsonOut := fs.Bool("json", false, "emit one machine-readable JSON document instead of text")
 	obsf := addObsFlags(fs)
@@ -229,6 +235,10 @@ func runStats(args []string) error {
 		return fmt.Errorf("-graph is required")
 	}
 	variant, err := parseVariant(*variantName)
+	if err != nil {
+		return err
+	}
+	kernel, err := equitruss.ParseSupportKernel(*kernelName)
 	if err != nil {
 		return err
 	}
@@ -242,7 +252,7 @@ func runStats(args []string) error {
 	}
 	// The full pipeline runs once; Trussness is not called separately so the
 	// counters and spans describe exactly one build.
-	sg, tm, err := equitruss.BuildSummary(g, equitruss.Options{Variant: variant, Threads: *threads, Tracer: tr})
+	sg, tm, err := equitruss.BuildSummary(g, equitruss.Options{Variant: variant, Threads: *threads, SupportKernel: kernel, Tracer: tr})
 	if err != nil {
 		return err
 	}

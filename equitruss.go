@@ -69,6 +69,26 @@ const (
 	Afforest = core.VariantAfforest // sampling-based CC construction
 )
 
+// SupportKernel selects the Support-stage (per-edge triangle counting)
+// implementation. All kernels produce bit-identical supports; they differ
+// only in how much intersection work skewed degree distributions cost.
+type SupportKernel = triangle.Kernel
+
+// The Support kernels. The zero value KernelAuto — the default — picks per
+// graph: oriented for large skewed graphs, galloping for moderately skewed
+// ones, merge otherwise (see docs/ALGORITHMS.md, "Support kernel
+// selection").
+const (
+	KernelAuto      = triangle.KernelAuto      // per-graph skew/size heuristic
+	KernelMerge     = triangle.KernelMerge     // per-edge sorted-merge intersection
+	KernelGalloping = triangle.KernelGalloping // adaptive binary-probing intersection
+	KernelOriented  = triangle.KernelOriented  // degree-oriented compact-forward (O(|E|^1.5))
+)
+
+// ParseSupportKernel parses a -support-kernel flag value
+// (auto|merge|gallop|oriented).
+func ParseSupportKernel(s string) (SupportKernel, error) { return triangle.ParseKernel(s) }
+
 // Tracer collects pipeline and per-thread spans during a build. A nil
 // *Tracer disables tracing at zero cost — the instrumented kernels never
 // read the clock or allocate. Pass one via Options.Tracer, then export with
@@ -94,6 +114,11 @@ type Options struct {
 	// SerialTruss forces the sequential peeling decomposition even for
 	// parallel variants (the parallel peeling is the default for them).
 	SerialTruss bool
+	// SupportKernel selects the Support-stage kernel. The zero value is
+	// KernelAuto: oriented compact-forward on large skewed graphs,
+	// galloping on moderately skewed ones, plain merge otherwise. All
+	// kernels produce bit-identical supports.
+	SupportKernel SupportKernel
 	// Tracer, when non-nil, records one pipeline span per kernel and
 	// per-thread spans inside every parallel kernel. Nil disables tracing
 	// with no overhead.
@@ -187,16 +212,23 @@ func GenerateRMAT(scale, edgeFactor int, seed uint64) *Graph {
 	return gen.RMAT(scale, edgeFactor, 0.57, 0.19, 0.19, seed)
 }
 
-// Supports returns the per-edge triangle counts (Definition 2).
+// Supports returns the per-edge triangle counts (Definition 2), computed
+// with the auto-selected kernel. Use SupportsWithKernel to force one.
 func Supports(g *Graph, threads int) []int32 {
-	return triangle.Supports(g, threads)
+	return triangle.SupportsKernel(g, triangle.KernelAuto, threads)
+}
+
+// SupportsWithKernel returns the per-edge triangle counts computed with the
+// selected kernel (KernelAuto resolves per graph).
+func SupportsWithKernel(g *Graph, k SupportKernel, threads int) []int32 {
+	return triangle.SupportsKernel(g, k, threads)
 }
 
 // Trussness runs support computation and k-truss decomposition, returning
 // τ(e) for every edge ID (Definition 4). threads <= 0 uses all cores;
 // threads == 1 selects the sequential peeling algorithm.
 func Trussness(g *Graph, threads int) []int32 {
-	sup := triangle.Supports(g, threads)
+	sup := triangle.SupportsKernel(g, triangle.KernelAuto, threads)
 	if threads == 1 {
 		tau, _ := truss.DecomposeSerial(g, sup)
 		return tau
@@ -241,7 +273,7 @@ func buildSummary(g *Graph, opt Options) (*SummaryGraph, Timings, error) {
 	tr := opt.Tracer
 	span := tr.Start("Support")
 	start := time.Now()
-	sup, err := triangle.SupportsCtx(ctx, g, threads, tr)
+	sup, err := triangle.SupportsKernelCtx(ctx, g, opt.SupportKernel, threads, tr)
 	supportTime := time.Since(start)
 	span.End()
 	if err != nil {

@@ -31,9 +31,10 @@ func Afforest(g *graph.Graph, threads int) []int32 {
 // AfforestT is Afforest with per-thread "CC.Afforest" spans emitted into tr
 // plus sampling-accuracy and union-find CAS-retry counters.
 func AfforestT(g *graph.Graph, threads int, tr *obs.Trace) []int32 {
-	labels, err := AfforestCtx(context.Background(), g, threads, tr)
+	labels, err := AfforestCtx(concur.WithoutFaults(context.Background()), g, threads, tr)
 	if err != nil {
-		// Unreachable without a cancelable context or armed fault injection.
+		// Unreachable: the context is non-cancelable and excluded from
+		// fault injection, so the ctx form cannot fail.
 		panic("cc: " + err.Error())
 	}
 	return labels

@@ -79,9 +79,10 @@ func ShiloachVishkin(g *graph.Graph, threads int) []int32 {
 // ShiloachVishkinT is ShiloachVishkin with per-thread "CC.SV" spans emitted
 // into tr and round counters accumulated into the registry.
 func ShiloachVishkinT(g *graph.Graph, threads int, tr *obs.Trace) []int32 {
-	labels, err := ShiloachVishkinCtx(context.Background(), g, threads, tr)
+	labels, err := ShiloachVishkinCtx(concur.WithoutFaults(context.Background()), g, threads, tr)
 	if err != nil {
-		// Unreachable without a cancelable context or armed fault injection.
+		// Unreachable: the context is non-cancelable and excluded from
+		// fault injection, so the ctx form cannot fail.
 		panic("cc: " + err.Error())
 	}
 	return labels
@@ -146,8 +147,10 @@ func ShiloachVishkinCtx(ctx context.Context, g *graph.Graph, threads int, tr *ob
 // LabelPropagation repeatedly assigns every vertex the minimum label in its
 // closed neighborhood until a fixpoint — simple, diameter-bound work.
 func LabelPropagation(g *graph.Graph, threads int) []int32 {
-	labels, err := LabelPropagationCtx(context.Background(), g, threads)
+	labels, err := LabelPropagationCtx(concur.WithoutFaults(context.Background()), g, threads)
 	if err != nil {
+		// Unreachable: the context is non-cancelable and excluded from
+		// fault injection, so the ctx form cannot fail.
 		panic("cc: " + err.Error())
 	}
 	return labels
@@ -195,8 +198,10 @@ func LabelPropagationCtx(ctx context.Context, g *graph.Graph, threads int) ([]in
 // as the number of small components grows (the paper's stated reason for
 // preferring SV/Afforest).
 func BFS(g *graph.Graph, threads int) []int32 {
-	labels, err := BFSCtx(context.Background(), g, threads)
+	labels, err := BFSCtx(concur.WithoutFaults(context.Background()), g, threads)
 	if err != nil {
+		// Unreachable: the context is non-cancelable and excluded from
+		// fault injection, so the ctx form cannot fail.
 		panic("cc: " + err.Error())
 	}
 	return labels

@@ -12,9 +12,10 @@ import (
 // input slice; queries are independent and read-only, so they parallelize
 // perfectly.
 func (idx *Index) BatchCommunities(queries []Query, threads int) [][]*Community {
-	out, err := idx.BatchCommunitiesCtx(context.Background(), queries, threads)
+	out, err := idx.BatchCommunitiesCtx(concur.WithoutFaults(context.Background()), queries, threads)
 	if err != nil {
-		// Unreachable: a background context is never canceled.
+		// Unreachable: the context is non-cancelable and excluded from
+		// fault injection, so the ctx form cannot fail.
 		panic("community: " + err.Error())
 	}
 	return out

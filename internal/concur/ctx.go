@@ -25,6 +25,19 @@ import (
 // barrierSite names the fault-injection point at scheduler barrier exits.
 const barrierSite = "concur.barrier"
 
+// noFaultsKey marks contexts whose scheduler barriers skip fault injection.
+type noFaultsKey struct{}
+
+// WithoutFaults returns a context whose scheduler barriers skip the
+// "concur.barrier" fault-injection site. The legacy (non-ctx, non-error)
+// kernel wrappers run under this context: they have no way to surface an
+// injected error, so an armed barrier site would otherwise turn a chaos run
+// into a process panic. Cancellation behaves normally — only injection is
+// suppressed.
+func WithoutFaults(ctx context.Context) context.Context {
+	return context.WithValue(ctx, noFaultsKey{}, struct{}{})
+}
+
 // cancelChunk bounds the iterations a static worker runs between context
 // polls; dynamic workers poll once per claimed chunk instead.
 const cancelChunk = 2048
@@ -63,7 +76,10 @@ func barrierExit(ctx context.Context) error {
 	if err := ctxErr(ctx); err != nil {
 		return err
 	}
-	return faults.Inject(barrierSite)
+	if faults.Active() && (ctx == nil || ctx.Value(noFaultsKey{}) == nil) {
+		return faults.Inject(barrierSite)
+	}
+	return nil
 }
 
 // ForCtx is For with cancellation: body(i) runs for i in [0, n) unless ctx

@@ -120,6 +120,39 @@ func TestCtxSchedulersCancelMidRunNoLeak(t *testing.T) {
 	settleGoroutines(t, baseline)
 }
 
+// TestWithoutFaultsSuppressesBarrierInjection pins the contract the legacy
+// no-error wrappers rely on: a WithoutFaults context runs to completion
+// under an armed barrier site (same process, same arming) while a plain
+// context observes the injection — and cancellation still outranks the
+// exclusion.
+func TestWithoutFaultsSuppressesBarrierInjection(t *testing.T) {
+	faults.Enable(7)
+	defer faults.Disable()
+	faults.Set("concur.barrier", faults.Plan{Action: faults.Error, Every: 1})
+
+	const n = 10_000
+	var ran atomic.Int64
+	if err := ForCtx(WithoutFaults(context.Background()), n, 4, func(i int) { ran.Add(1) }); err != nil {
+		t.Fatalf("WithoutFaults ctx under armed barrier returned %v", err)
+	}
+	if ran.Load() != n {
+		t.Fatalf("WithoutFaults loop ran %d of %d iterations", ran.Load(), n)
+	}
+	if err := ForThreadsCtx(WithoutFaults(context.Background()), 4, func(tid int) {}); err != nil {
+		t.Fatalf("WithoutFaults ForThreadsCtx returned %v", err)
+	}
+	// A plain background context in the same process still sees the fault.
+	if err := ForCtx(context.Background(), n, 4, func(i int) {}); !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("plain ctx under armed barrier returned %v, want injected fault", err)
+	}
+	// Cancellation is not suppressed — only injection is.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := ForCtx(WithoutFaults(ctx), n, 4, func(i int) {}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled WithoutFaults ctx returned %v, want context.Canceled", err)
+	}
+}
+
 func TestChaosBarrierFaultPropagates(t *testing.T) {
 	faults.Enable(5)
 	defer faults.Disable()

@@ -82,6 +82,74 @@ func TestStressDynamicSchedulersShared(t *testing.T) {
 	}
 }
 
+// TestStressCtxManualCursorAccumulate hammers the scheduler shape the
+// oriented Support kernel uses: ForThreadsCtxT workers claiming chunks off
+// a shared atomic cursor, crediting into per-thread accumulation arrays
+// (no atomics on the hot path), followed by a parallel reduce — with a
+// live tracer and a shared counter in play. Race-detector fodder for the
+// per-thread-credits pattern.
+func TestStressCtxManualCursorAccumulate(t *testing.T) {
+	const (
+		n       = 50_000
+		threads = 8
+		grain   = 64
+	)
+	tr := obs.NewTrace()
+	reg := obs.NewRegistry()
+	c := reg.Counter("stress_cursor", "")
+	for rounds := 0; rounds < 4; rounds++ {
+		accs := make([][]int64, threads)
+		for t := range accs {
+			accs[t] = make([]int64, n)
+		}
+		var cursor atomic.Int64
+		err := ForThreadsCtxT(nil, tr, "cursor", threads, func(tid int) {
+			acc := accs[tid]
+			var claimed int64
+			for {
+				lo := int(cursor.Add(grain)) - grain
+				if lo >= n {
+					break
+				}
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					acc[i] += int64(i)
+				}
+				claimed += int64(hi - lo)
+			}
+			c.Add(claimed)
+		})
+		if err != nil {
+			t.Fatalf("round %d: %v", rounds, err)
+		}
+		var sum atomic.Int64
+		err = ForRangeCtxT(nil, tr, "reduce", n, threads, func(lo, hi int) {
+			var local int64
+			for i := lo; i < hi; i++ {
+				for t := 0; t < threads; t++ {
+					local += accs[t][i]
+				}
+			}
+			sum.Add(local)
+		})
+		if err != nil {
+			t.Fatalf("round %d reduce: %v", rounds, err)
+		}
+		if want := int64(n) * (n - 1) / 2; sum.Load() != want {
+			t.Fatalf("round %d: reduced sum = %d, want %d", rounds, sum.Load(), want)
+		}
+	}
+	if c.Value() != 4*n {
+		t.Fatalf("claimed iterations = %d, want %d", c.Value(), 4*n)
+	}
+	if tr.Len() != 4*2*threads {
+		t.Fatalf("spans = %d, want %d", tr.Len(), 4*2*threads)
+	}
+}
+
 func TestStressForThreadsShared(t *testing.T) {
 	tr := obs.NewTrace()
 	var sum atomic.Int64

@@ -78,10 +78,10 @@ func Build(g *graph.Graph, tau []int32, variant Variant, threads int) (*SummaryG
 // one span per worker, so per-kernel load imbalance is measurable. A nil
 // tracer records nothing and adds no overhead — Build delegates here.
 func BuildTraced(g *graph.Graph, tau []int32, variant Variant, threads int, tr *obs.Trace) (*SummaryGraph, Timings) {
-	sg, tm, err := BuildCtx(context.Background(), g, tau, variant, threads, tr)
+	sg, tm, err := BuildCtx(concur.WithoutFaults(context.Background()), g, tau, variant, threads, tr)
 	if err != nil {
-		// Unreachable without a cancelable context or armed fault injection;
-		// neither applies on this legacy path.
+		// Unreachable: the context is non-cancelable and excluded from
+		// fault injection, so the ctx form cannot fail.
 		panic("core: " + err.Error())
 	}
 	return sg, tm

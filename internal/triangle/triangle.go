@@ -27,10 +27,10 @@ func Supports(g *graph.Graph, threads int) []int32 {
 // the dynamic scheduler records how many edges each worker claimed, which
 // is exactly the load-balance signal the kernel's chunking exists to fix.
 func SupportsT(g *graph.Graph, threads int, tr *obs.Trace) []int32 {
-	sup, err := SupportsCtx(context.Background(), g, threads, tr)
+	sup, err := SupportsCtx(concur.WithoutFaults(context.Background()), g, threads, tr)
 	if err != nil {
-		// Unreachable without a cancelable context or armed fault injection;
-		// neither applies on this legacy path.
+		// Unreachable: the context is non-cancelable and excluded from
+		// fault injection, so the ctx form cannot fail.
 		panic("triangle: " + err.Error())
 	}
 	return sup
@@ -57,12 +57,26 @@ func SupportsCtx(ctx context.Context, g *graph.Graph, threads int, tr *obs.Trace
 
 // SupportsGalloping is Supports with a galloping (binary-probing)
 // intersection that wins when one endpoint's list is much longer than the
-// other — the ablation comparator for the merge-based kernel.
+// other — the middle arm of the kernel-selection heuristic.
+// SupportsGallopingCtx is the production form.
 func SupportsGalloping(g *graph.Graph, threads int) []int32 {
+	sup, err := SupportsGallopingCtx(concur.WithoutFaults(context.Background()), g, threads, nil)
+	if err != nil {
+		// Unreachable: the context is non-cancelable and excluded from
+		// fault injection.
+		panic("triangle: " + err.Error())
+	}
+	return sup
+}
+
+// SupportsGallopingCtx is SupportsGalloping with the merge kernel's
+// production contract: cancellation between dynamic chunks, per-thread
+// "Support" spans into tr, and the scheduler-barrier fault site.
+func SupportsGallopingCtx(ctx context.Context, g *graph.Graph, threads int, tr *obs.Trace) ([]int32, error) {
 	m := int(g.NumEdges())
 	sup := make([]int32, m)
 	edges := g.Edges()
-	concur.ForRangeDynamic(m, threads, 512, func(lo, hi int) {
+	err := concur.ForRangeDynamicCtxT(ctx, tr, "Support", m, threads, 512, func(lo, hi int) {
 		for eid := lo; eid < hi; eid++ {
 			e := edges[eid]
 			nu, nv := g.Neighbors(e.U), g.Neighbors(e.V)
@@ -76,7 +90,10 @@ func SupportsGalloping(g *graph.Graph, threads int) []int32 {
 			}
 		}
 	})
-	return sup
+	if err != nil {
+		return nil, err
+	}
+	return sup, nil
 }
 
 func mergeIntersect(a, b []int32) int32 {
@@ -139,9 +156,10 @@ func gallopIntersect(a, b []int32) int32 {
 
 // Count returns the total number of triangles in g. Every triangle is
 // counted once per constituent edge by the per-edge supports, so the sum of
-// supports equals three times the triangle count.
+// supports equals three times the triangle count. The supports come from
+// the auto-selected kernel, so skewed graphs get the oriented scheme.
 func Count(g *graph.Graph, threads int) int64 {
-	sup := Supports(g, threads)
+	sup := SupportsKernel(g, KernelAuto, threads)
 	var total int64
 	for _, s := range sup {
 		total += int64(s)

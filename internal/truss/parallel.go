@@ -44,9 +44,10 @@ func DecomposeParallel(g *graph.Graph, supports []int32, threads int) (tau []int
 // sub-round's processing pass emits per-thread "TrussDecomp" spans into tr,
 // and the peeling counters above accumulate regardless of tracing.
 func DecomposeParallelT(g *graph.Graph, supports []int32, threads int, tr *obs.Trace) (tau []int32, kmax int32) {
-	tau, kmax, err := DecomposeParallelCtx(context.Background(), g, supports, threads, tr)
+	tau, kmax, err := DecomposeParallelCtx(concur.WithoutFaults(context.Background()), g, supports, threads, tr)
 	if err != nil {
-		// Unreachable without a cancelable context or armed fault injection.
+		// Unreachable: the context is non-cancelable and excluded from
+		// fault injection, so the ctx form cannot fail.
 		panic("truss: " + err.Error())
 	}
 	return tau, kmax

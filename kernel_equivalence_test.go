@@ -1,0 +1,44 @@
+package equitruss_test
+
+import (
+	"fmt"
+	"testing"
+
+	"equitruss"
+)
+
+// TestBuildSummaryKernelEquivalence: the Support kernel is an
+// implementation detail — on a skewed RMAT graph every kernel choice
+// (including auto, which resolves to oriented here) must produce a
+// bit-identical trussness array and the same canonical summary graph as
+// the merge reference.
+func TestBuildSummaryKernelEquivalence(t *testing.T) {
+	g := equitruss.GenerateRMAT(14, 8, 42)
+	ref, _, err := equitruss.BuildSummary(g, equitruss.Options{
+		Variant: equitruss.Afforest, Threads: 4, SupportKernel: equitruss.KernelMerge,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon := ref.Canonical(g)
+	for _, k := range []equitruss.SupportKernel{
+		equitruss.KernelGalloping, equitruss.KernelOriented, equitruss.KernelAuto,
+	} {
+		t.Run(fmt.Sprint(k), func(t *testing.T) {
+			sg, _, err := equitruss.BuildSummary(g, equitruss.Options{
+				Variant: equitruss.Afforest, Threads: 4, SupportKernel: k,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range ref.Tau {
+				if sg.Tau[i] != ref.Tau[i] {
+					t.Fatalf("tau[%d] = %d, want %d", i, sg.Tau[i], ref.Tau[i])
+				}
+			}
+			if sg.Canonical(g) != canon {
+				t.Fatal("summary graph differs from the merge-kernel reference")
+			}
+		})
+	}
+}
