@@ -29,16 +29,17 @@ ci: serversmoke chaos
 	fi
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/concur ./internal/cc ./internal/triangle
+	$(GO) test -race ./internal/concur ./internal/cc ./internal/triangle ./internal/community
 	$(MAKE) benchcheck
 
-# Support-stage perf regression gate: rerun the kernel sweep and compare
-# each kernel's time — normalized by the same run's merge time, so absolute
-# machine speed cancels — against the committed baseline. Fails on a >20%
-# normalized regression. Artifacts land in bench/ (gitignored except the
-# committed baseline + reference pair).
+# Perf regression gate: rerun the Support kernel sweep and the query-path
+# workloads and compare each cell's time — normalized within the same run
+# (kernels by merge, query engines by indexed-bfs) so absolute machine speed
+# cancels — against the committed baseline. Fails on a >20% normalized
+# regression. Artifacts land in bench/ (gitignored except the committed
+# baseline + reference artifacts).
 benchcheck:
-	$(GO) run ./cmd/benchsuite -experiment support -scale 0.05 -out bench/ -check bench/baseline.json
+	$(GO) run ./cmd/benchsuite -experiment support,query -scale 0.05 -out bench/ -check bench/baseline.json
 
 # Race-enabled server smoke: 64 concurrent clients hammer one handler
 # (httptest) mixing cached singles and pooled batches, answers checked

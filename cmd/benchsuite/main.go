@@ -64,11 +64,12 @@ var experiments = []experiment{
 	{"tab4", "Table 4: single-thread comparison incl. Original (serial)", runTab4, false},
 	{"tab5", "Table 5: index sizes and parallel speedups", runTab5, false},
 	{"support", "Support kernel sweep: merge vs gallop vs oriented", runSupport, false},
+	{"query", "Query path: hierarchy vs indexed-BFS vs DirectCommunities", runQuery, false},
 	{"rmat18", "RMAT scale-18 skewed graph: Support + Decompose (honors -support-kernel)", runRMAT18, true},
 }
 
 func main() {
-	expID := flag.String("experiment", "all", "experiment id (tab3, fig2, ..., tab5, support, rmat18) or 'all'")
+	expID := flag.String("experiment", "all", "comma-separated experiment ids (tab3, fig2, ..., support, query, rmat18) or 'all'")
 	scale := flag.Float64("scale", 0.25, "dataset size factor (1.0 = paper-surrogate default size)")
 	maxThr := flag.Int("maxthreads", concur.MaxThreads(), "top of the thread sweep")
 	kernelName := flag.String("support-kernel", "auto", "Support kernel: auto|merge|gallop|oriented")
@@ -104,9 +105,25 @@ func main() {
 	}
 	fmt.Printf("# benchsuite: %d CPUs, GOMAXPROCS=%d, scale=%.2f, kernel=%s, rev=%s\n\n",
 		runtime.NumCPU(), runtime.GOMAXPROCS(0), cfg.scale, kernel, art.GitRev)
+	wanted := map[string]bool{}
+	for _, id := range strings.Split(*expID, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			wanted[id] = true
+		}
+	}
+	known := map[string]bool{"all": true}
+	for _, e := range experiments {
+		known[e.id] = true
+	}
+	for id := range wanted {
+		if !known[id] {
+			fmt.Fprintf(os.Stderr, "benchsuite: unknown experiment %q (use -list)\n", id)
+			os.Exit(2)
+		}
+	}
 	ran := false
 	for _, e := range experiments {
-		if (*expID == "all" && !e.onlyExplicit) || *expID == e.id {
+		if (wanted["all"] && !e.onlyExplicit) || wanted[e.id] {
 			fmt.Printf("== %s ==\n", e.title)
 			start := time.Now()
 			e.run(cfg)
@@ -170,6 +187,7 @@ type benchArtifact struct {
 	SupportKernel string             `json:"support_kernel"`
 	Experiments   []experimentResult `json:"experiments"`
 	SupportBench  []supportRow       `json:"support_bench,omitempty"`
+	QueryBench    []queryRow         `json:"query_bench,omitempty"`
 	Counters      []obs.CounterValue `json:"counters,omitempty"`
 }
 
@@ -180,6 +198,18 @@ type benchArtifact struct {
 type supportRow struct {
 	Dataset  string  `json:"dataset"`
 	Kernel   string  `json:"kernel"`
+	Threads  int     `json:"threads"`
+	Seconds  float64 `json:"seconds"`
+	Checksum uint64  `json:"checksum"`
+}
+
+// queryRow is one timed query-workload measurement for one engine. Rows for
+// the same (dataset, workload) must carry identical checksums: the engines
+// are interchangeable answer paths, only their costs differ.
+type queryRow struct {
+	Dataset  string  `json:"dataset"`
+	Workload string  `json:"workload"`
+	Engine   string  `json:"engine"`
 	Threads  int     `json:"threads"`
 	Seconds  float64 `json:"seconds"`
 	Checksum uint64  `json:"checksum"`

@@ -135,10 +135,13 @@ const checkNoiseFloorSec = 0.002
 // stays meaningful on any hardware.
 const checkMargin = 1.20
 
-// checkAgainstBaseline compares the current run's SupportBench rows against
-// a committed baseline artifact. For every (dataset, kernel) present in
-// both, it forms time/mergeTime within each artifact and fails if the
-// current ratio regressed more than checkMargin over the baseline ratio.
+// checkAgainstBaseline compares the current run's SupportBench and
+// QueryBench rows against a committed baseline artifact. Support rows
+// normalize each kernel's time by the same run's merge time; query rows
+// normalize each engine's time by the same run's indexed-bfs time for that
+// (dataset, workload). Ratios of ratios cancel machine speed, so the
+// committed baseline stays meaningful on any hardware. The check fails if
+// any current ratio regressed more than checkMargin over the baseline's.
 func checkAgainstBaseline(path string, art *benchArtifact) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -148,12 +151,39 @@ func checkAgainstBaseline(path string, art *benchArtifact) error {
 	if err := json.Unmarshal(raw, &base); err != nil {
 		return fmt.Errorf("parse %s: %w", path, err)
 	}
-	if len(art.SupportBench) == 0 {
-		return fmt.Errorf("current run produced no support_bench rows (run -experiment support)")
+	if len(art.SupportBench) == 0 && len(art.QueryBench) == 0 {
+		return fmt.Errorf("current run produced no support_bench or query_bench rows (run -experiment support,query)")
 	}
-	if len(base.SupportBench) == 0 {
-		return fmt.Errorf("baseline %s has no support_bench rows", path)
+	checked := 0
+	if len(art.SupportBench) > 0 {
+		if len(base.SupportBench) == 0 {
+			return fmt.Errorf("baseline %s has no support_bench rows", path)
+		}
+		n, err := checkSupportRows(&base, art)
+		if err != nil {
+			return err
+		}
+		checked += n
 	}
+	if len(art.QueryBench) > 0 {
+		if len(base.QueryBench) == 0 {
+			return fmt.Errorf("baseline %s has no query_bench rows (regenerate it with -experiment support,query)", path)
+		}
+		n, err := checkQueryRows(&base, art)
+		if err != nil {
+			return err
+		}
+		checked += n
+	}
+	if checked == 0 {
+		return fmt.Errorf("no comparable rows above the %.0fms noise floor", checkNoiseFloorSec*1000)
+	}
+	return nil
+}
+
+// checkSupportRows gates the (dataset, kernel) cells, normalized by the
+// merge kernel within each artifact. Returns how many cells were compared.
+func checkSupportRows(base, art *benchArtifact) (int, error) {
 	baseMerge := mergeSeconds(base.SupportBench)
 	curMerge := mergeSeconds(art.SupportBench)
 	checked := 0
@@ -181,16 +211,70 @@ func checkAgainstBaseline(path string, art *benchArtifact) error {
 		baseRatio := baseSec / bm
 		checked++
 		if curRatio > baseRatio*checkMargin {
-			return fmt.Errorf("%s/%s: normalized Support time %.3f (was %.3f in baseline %s) — >%.0f%% regression",
+			return checked, fmt.Errorf("%s/%s: normalized Support time %.3f (was %.3f in baseline %s) — >%.0f%% regression",
 				row.Dataset, row.Kernel, curRatio, baseRatio, base.GitRev, (checkMargin-1)*100)
 		}
 		fmt.Printf("# benchcheck %s/%-8s ratio %.3f vs baseline %.3f ok\n",
 			row.Dataset, row.Kernel, curRatio, baseRatio)
 	}
-	if checked == 0 {
-		return fmt.Errorf("no comparable (dataset, kernel) rows above the %.0fms noise floor", checkNoiseFloorSec*1000)
+	return checked, nil
+}
+
+// checkQueryRows gates the (dataset, workload, engine) cells, normalized by
+// the indexed-bfs engine within each artifact. Engine times below the noise
+// floor are skipped as numerators too — a microsecond-scale hierarchy
+// answer cannot regress measurably, and its jitter would make the ratio
+// meaningless.
+func checkQueryRows(base, art *benchArtifact) (int, error) {
+	baseRef := bfsSeconds(base.QueryBench)
+	curRef := bfsSeconds(art.QueryBench)
+	checked := 0
+	for _, row := range art.QueryBench {
+		if row.Engine == "indexed-bfs" {
+			continue
+		}
+		key := row.Dataset + "/" + row.Workload
+		br, okB := baseRef[key]
+		cr, okC := curRef[key]
+		if !okB || !okC || br < checkNoiseFloorSec || cr < checkNoiseFloorSec {
+			continue
+		}
+		if row.Seconds < checkNoiseFloorSec {
+			continue
+		}
+		var baseSec float64
+		found := false
+		for _, b := range base.QueryBench {
+			if b.Dataset == row.Dataset && b.Workload == row.Workload && b.Engine == row.Engine {
+				baseSec, found = b.Seconds, true
+				break
+			}
+		}
+		if !found || baseSec < checkNoiseFloorSec {
+			continue
+		}
+		curRatio := row.Seconds / cr
+		baseRatio := baseSec / br
+		checked++
+		if curRatio > baseRatio*checkMargin {
+			return checked, fmt.Errorf("%s/%s/%s: normalized query time %.3f (was %.3f in baseline %s) — >%.0f%% regression",
+				row.Dataset, row.Workload, row.Engine, curRatio, baseRatio, base.GitRev, (checkMargin-1)*100)
+		}
+		fmt.Printf("# benchcheck %s/%s/%-11s ratio %.3f vs baseline %.3f ok\n",
+			row.Dataset, row.Workload, row.Engine, curRatio, baseRatio)
 	}
-	return nil
+	return checked, nil
+}
+
+// bfsSeconds indexes the indexed-bfs reference time per dataset/workload.
+func bfsSeconds(rows []queryRow) map[string]float64 {
+	out := map[string]float64{}
+	for _, r := range rows {
+		if r.Engine == "indexed-bfs" {
+			out[r.Dataset+"/"+r.Workload] = r.Seconds
+		}
+	}
+	return out
 }
 
 // mergeSeconds indexes the merge-kernel time per dataset.

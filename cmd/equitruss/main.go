@@ -185,6 +185,12 @@ func runQuery(args []string) error {
 	if err != nil {
 		return err
 	}
+	// Validate before any index lookup: MaxK and Communities index the
+	// vertex→supernode CSR by v unchecked, so an out-of-range vertex must be
+	// rejected here rather than panic inside the query path.
+	if int64(*vertex) >= int64(g.NumVertices()) {
+		return fmt.Errorf("query: vertex %d outside [0, %d)", *vertex, g.NumVertices())
+	}
 	var idx *equitruss.Index
 	if *indexPath != "" {
 		f, err := os.Open(*indexPath)
@@ -219,6 +225,9 @@ func runQuery(args []string) error {
 	if maxK := idx.MaxK(int32(*vertex)); maxK > 0 {
 		fmt.Printf("strongest community of vertex %d: k=%d\n", *vertex, maxK)
 	}
+	hst := idx.Hierarchy().Stats()
+	fmt.Printf("hierarchy: %d nodes, %d roots, kmax %d, depth %d\n",
+		hst.Nodes, hst.Roots, hst.KMax, hst.MaxDepth)
 	return nil
 }
 
@@ -259,6 +268,9 @@ func runStats(args []string) error {
 	tau := sg.Tau
 	kmax := truss.KMax(tau)
 	hist := equitruss.TrussnessHistogram(tau)
+	// Attach the query index and build the community hierarchy so stats
+	// reports the full query-ready shape, not just the summary graph.
+	hst := equitruss.NewIndexFromSummary(g, sg).Hierarchy().Stats()
 	if *jsonOut {
 		// Reuse the obs report as the timing/counter section; synthesize it
 		// from Timings when the run was untraced so wall times still appear.
@@ -279,6 +291,7 @@ func runStats(args []string) error {
 			KMax:           kmax,
 			TrussHistogram: histToDoc(hist),
 			Index:          sg.ComputeStats(),
+			Hierarchy:      hst,
 			TotalSeconds:   tm.Total().Seconds(),
 			Report:         rep,
 		}
@@ -302,20 +315,23 @@ func runStats(args []string) error {
 	}
 	fmt.Printf("index (%v): %d supernodes, %d superedges, built in %v\n",
 		variant, sg.NumSupernodes(), sg.NumSuperedges(), tm.Total())
+	fmt.Printf("hierarchy: %d nodes, %d roots, kmax %d, depth %d, level entries %d\n",
+		hst.Nodes, hst.Roots, hst.KMax, hst.MaxDepth, hst.LevelEntries)
 	fmt.Printf("kernel breakdown: %s\n", tm.Breakdown())
 	return obsf.finish()
 }
 
 // statsDoc is the machine-readable output of `equitruss stats -json`.
 type statsDoc struct {
-	Graph          graphDoc               `json:"graph"`
-	Variant        string                 `json:"variant"`
-	Threads        int                    `json:"threads"`
-	KMax           int32                  `json:"kmax"`
-	TrussHistogram []histBucket           `json:"truss_histogram"`
-	Index          equitruss.Stats        `json:"index"`
-	TotalSeconds   float64                `json:"total_seconds"`
-	Report         *equitruss.BuildReport `json:"report"`
+	Graph          graphDoc                 `json:"graph"`
+	Variant        string                   `json:"variant"`
+	Threads        int                      `json:"threads"`
+	KMax           int32                    `json:"kmax"`
+	TrussHistogram []histBucket             `json:"truss_histogram"`
+	Index          equitruss.Stats          `json:"index"`
+	Hierarchy      equitruss.HierarchyStats `json:"hierarchy"`
+	TotalSeconds   float64                  `json:"total_seconds"`
+	Report         *equitruss.BuildReport   `json:"report"`
 }
 
 type graphDoc struct {

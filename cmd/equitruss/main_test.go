@@ -279,3 +279,21 @@ func captureStdout(t *testing.T, f func()) string {
 	os.Stdout = old
 	return <-done
 }
+
+// TestRunQueryVertexOutOfRange covers the out-of-range fix: a vertex past
+// the graph must produce a descriptive error, not an index-out-of-range
+// panic inside MaxK/Communities.
+func TestRunQueryVertexOutOfRange(t *testing.T) {
+	dir := t.TempDir()
+	gpath := filepath.Join(dir, "g.txt")
+	if err := os.WriteFile(gpath, []byte("0 1\n1 2\n0 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := runQuery([]string{"-graph", gpath, "-variant", "serial", "-vertex", "999", "-k", "3"})
+	if err == nil {
+		t.Fatal("out-of-range vertex accepted")
+	}
+	if !strings.Contains(err.Error(), "outside [0,") {
+		t.Fatalf("error %q does not describe the valid range", err)
+	}
+}

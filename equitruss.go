@@ -130,6 +130,12 @@ type Options struct {
 	// goroutine joined and no partial index escaping. Nil means
 	// non-cancelable, with no overhead on the hot paths.
 	Context context.Context
+	// PrecomputeHierarchy builds the k-level community hierarchy eagerly as
+	// part of BuildIndex (parallel, using the same Threads/Context/Tracer),
+	// so the first community query pays no lazy-build latency. When false,
+	// the hierarchy is still built — lazily, on the first query that needs
+	// it.
+	PrecomputeHierarchy bool
 }
 
 // Index is the query-ready EquiTruss index: the summary graph plus the
@@ -248,8 +254,38 @@ func BuildIndex(g *Graph, opt Options) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Index{Index: community.NewIndex(g, sg), Timings: tm, Trace: opt.Tracer}, nil
+	ix := &Index{Index: community.NewIndex(g, sg), Timings: tm, Trace: opt.Tracer}
+	if opt.PrecomputeHierarchy {
+		ctx := opt.Context
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		if _, err := ix.PrepareHierarchy(ctx, opt.Threads, opt.Tracer); err != nil {
+			return nil, err
+		}
+	}
+	return ix, nil
 }
+
+// NewIndexFromSummary attaches an already-built summary graph to its graph
+// as a query-ready Index — the hook for callers that ran BuildSummary (or
+// deserialized a summary) and now want the query APIs, including the
+// community hierarchy.
+func NewIndexFromSummary(g *Graph, sg *SummaryGraph) *Index {
+	return &Index{Index: community.NewIndex(g, sg)}
+}
+
+// Hierarchy is the precomputed k-level community merge forest of an index
+// (see internal/community.Hierarchy).
+type Hierarchy = community.Hierarchy
+
+// HierarchyStats summarizes a built hierarchy (node and root counts, kmax,
+// forest depth, level-index size).
+type HierarchyStats = community.HierarchyStats
+
+// CommunityRef is a compact reference to one community: O(1) edge/vertex
+// counts, lazy edge materialization.
+type CommunityRef = community.Ref
 
 // BuildSummary runs the same pipeline but returns only the summary graph
 // and timings, without materializing the vertex→supernode query index —

@@ -35,6 +35,22 @@ func (idx *Index) BatchCommunitiesCtx(ctx context.Context, queries []Query, thre
 	return out, nil
 }
 
+// BatchCommunityRefsCtx answers one query per (vertex, k) pair in parallel
+// with compact Refs instead of materialized communities — the serving-layer
+// form: counts come free with the ref, edge lists are materialized per
+// response only when a client asks. The hierarchy is built up front (not
+// inside the workers) so a canceled batch never half-builds it.
+func (idx *Index) BatchCommunityRefsCtx(ctx context.Context, queries []Query, threads int) ([][]Ref, error) {
+	idx.Hierarchy()
+	out := make([][]Ref, len(queries))
+	if err := concur.ForDynamicCtx(ctx, len(queries), threads, 8, func(i int) {
+		out[i] = idx.CommunityRefs(queries[i].Vertex, queries[i].K)
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // Query is one community lookup.
 type Query struct {
 	Vertex int32

@@ -10,6 +10,8 @@ package community
 
 import (
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"equitruss/internal/core"
 	"equitruss/internal/ds"
@@ -62,6 +64,12 @@ type Index struct {
 	// vertex → distinct supernodes of its incident edges, CSR form.
 	snOffsets []int64
 	snList    []int32
+
+	// Lazily built k-level community hierarchy: hier is the published
+	// handle read lock-free on the query hot path, hierMu serializes the
+	// one-time build so concurrent first queries construct it exactly once.
+	hierMu sync.Mutex
+	hier   atomic.Pointer[Hierarchy]
 }
 
 // NewIndex builds the vertex→supernode CSR from the summary graph.
@@ -114,14 +122,15 @@ func (idx *Index) SupernodesOf(v int32) []int32 {
 	return idx.snList[idx.snOffsets[v]:idx.snOffsets[v+1]]
 }
 
-// Communities returns every k-truss community containing vertex v, using
-// the index: seed supernodes are v's incident supernodes with trussness >=
-// k; each seed's connected region of the summary graph restricted to
-// supernodes with trussness >= k is one community (distinct seeds falling
-// in one region merge into the same community). Runs in time proportional
-// to the answer plus the traversed region — no trussness recomputation, the
-// property EquiTruss was designed for.
-func (idx *Index) Communities(v int32, k int32) []*Community {
+// CommunitiesBFS returns every k-truss community containing vertex v by
+// traversing the summary graph: seed supernodes are v's incident supernodes
+// with trussness >= k; each seed's connected region of the summary graph
+// restricted to supernodes with trussness >= k is one community (distinct
+// seeds falling in one region merge into the same community). This is the
+// original indexed path, kept as the differential oracle for the
+// hierarchy-backed Communities — it allocates an O(#supernodes) visited
+// bitset per call, which the hierarchy path avoids.
+func (idx *Index) CommunitiesBFS(v int32, k int32) []*Community {
 	if k < core.MinK {
 		k = core.MinK
 	}
@@ -165,13 +174,13 @@ func (idx *Index) MaxK(v int32) int32 {
 	return best
 }
 
-// Membership returns, for each k from 3 to MaxK(v), the number of distinct
-// k-truss communities containing v — the "overlapping community profile"
-// of the vertex.
-func (idx *Index) Membership(v int32) map[int32]int {
+// MembershipBFS computes the overlapping community profile of v by running
+// one summary-graph BFS per level — the oracle form of Membership.
+func (idx *Index) MembershipBFS(v int32) map[int32]int {
 	out := make(map[int32]int)
-	for k := int32(core.MinK); k <= idx.MaxK(v); k++ {
-		if cs := idx.Communities(v, k); len(cs) > 0 {
+	maxK := idx.MaxK(v)
+	for k := int32(core.MinK); k <= maxK; k++ {
+		if cs := idx.CommunitiesBFS(v, k); len(cs) > 0 {
 			out[k] = len(cs)
 		}
 	}

@@ -7,12 +7,11 @@ import (
 	"equitruss/internal/ds"
 )
 
-// AllCommunities enumerates every k-truss community in the graph (not just
-// those of one query vertex) by running connected components over the
-// supergraph restricted to supernodes with trussness >= k. This is the
-// "global view" the index gives almost for free — contrast with global
-// community detection, which would recompute from the raw graph.
-func (idx *Index) AllCommunities(k int32) []*Community {
+// AllCommunitiesBFS enumerates every k-truss community by running connected
+// components over the supergraph restricted to supernodes with trussness >=
+// k — the original implementation, kept as the differential oracle for the
+// hierarchy-backed AllCommunities.
+func (idx *Index) AllCommunitiesBFS(k int32) []*Community {
 	if k < core.MinK {
 		k = core.MinK
 	}
@@ -44,18 +43,13 @@ func (idx *Index) AllCommunities(k int32) []*Community {
 	return CanonicalizeCommunities(out)
 }
 
-// CommunityCount returns, for each k from 3 to the graph's kmax, the
-// number of k-truss communities — the global community-size profile.
-func (idx *Index) CommunityCount() map[int32]int {
-	kmax := int32(core.MinK - 1)
-	for _, k := range idx.SG.K {
-		if k > kmax {
-			kmax = k
-		}
-	}
+// CommunityCountBFS computes the global community-count profile with one
+// full enumeration per level — the oracle form of CommunityCount.
+func (idx *Index) CommunityCountBFS() map[int32]int {
+	kmax := idx.SG.MaxK()
 	out := make(map[int32]int)
 	for k := int32(core.MinK); k <= kmax; k++ {
-		if n := len(idx.AllCommunities(k)); n > 0 {
+		if n := len(idx.AllCommunitiesBFS(k)); n > 0 {
 			out[k] = n
 		}
 	}

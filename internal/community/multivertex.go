@@ -7,21 +7,19 @@ import (
 	"equitruss/internal/ds"
 )
 
-// CommonCommunities returns the k-truss communities that contain EVERY
-// vertex of the query set — the multi-vertex community search of the
-// EquiTruss model (e.g. "which groups do these three users share?"). A
-// community qualifies if each query vertex has an incident edge in it.
-func (idx *Index) CommonCommunities(vertices []int32, k int32) []*Community {
+// CommonCommunitiesBFS is the oracle form of CommonCommunities: it takes
+// the communities of the first vertex via the BFS path, then filters by
+// vertex-set membership of the rest.
+func (idx *Index) CommonCommunitiesBFS(vertices []int32, k int32) []*Community {
 	if len(vertices) == 0 {
 		return nil
 	}
 	if k < core.MinK {
 		k = core.MinK
 	}
-	// Take the communities of the first vertex, then filter by membership
-	// of the rest. Vertex membership test: the community contains an edge
-	// incident to v, i.e. v appears in the community's vertex set.
-	candidates := idx.Communities(vertices[0], k)
+	// Vertex membership test: the community contains an edge incident to v,
+	// i.e. v appears in the community's vertex set.
+	candidates := idx.CommunitiesBFS(vertices[0], k)
 	if len(candidates) == 0 {
 		return nil
 	}

@@ -63,6 +63,24 @@ func (sg *SummaryGraph) SupernodeNeighbors(s int32) []int32 {
 	return sg.Adj[sg.AdjOffsets[s]:sg.AdjOffsets[s+1]]
 }
 
+// SupernodeEdgeCount returns the number of member edges of supernode s
+// without materializing the member slice.
+func (sg *SummaryGraph) SupernodeEdgeCount(s int32) int64 {
+	return sg.EdgeOffsets[s+1] - sg.EdgeOffsets[s]
+}
+
+// MaxK returns the largest supernode trussness, or MinK-1 when the index
+// has no supernodes.
+func (sg *SummaryGraph) MaxK() int32 {
+	best := int32(MinK - 1)
+	for _, k := range sg.K {
+		if k > best {
+			best = k
+		}
+	}
+	return best
+}
+
 // String summarizes the index.
 func (sg *SummaryGraph) String() string {
 	return fmt.Sprintf("SummaryGraph{supernodes=%d, superedges=%d}",

@@ -21,14 +21,16 @@ type cacheKey struct{ v, k int32 }
 
 type cacheEntry struct {
 	key cacheKey
-	val []*community.Community
+	val []community.Ref
 }
 
 // Cache is a mutex-guarded LRU of community query results keyed by
-// (vertex, k). Cached values are the immutable slices returned by the index
-// query path, shared between entries and responses without copying. A nil
-// *Cache disables caching: Get always misses and Put is a no-op, neither
-// touching the hit/miss counters.
+// (vertex, k) with k already normalized by the caller. Cached values are
+// compact community refs — a few words per community, independent of
+// community size — instead of materialized edge slices; responses
+// materialize edges from a ref only when the client asks. A nil *Cache
+// disables caching: Get always misses and Put is a no-op, neither touching
+// the hit/miss counters.
 type Cache struct {
 	mu    sync.Mutex
 	cap   int
@@ -47,7 +49,7 @@ func NewCache(capacity int) *Cache {
 
 // Get returns the cached result for (v, k), bumping its recency. The second
 // return distinguishes a cached empty result from a miss.
-func (c *Cache) Get(v, k int32) ([]*community.Community, bool) {
+func (c *Cache) Get(v, k int32) ([]community.Ref, bool) {
 	if c == nil {
 		return nil, false
 	}
@@ -65,7 +67,7 @@ func (c *Cache) Get(v, k int32) ([]*community.Community, bool) {
 
 // Put stores the result for (v, k), evicting the least recently used entry
 // when full.
-func (c *Cache) Put(v, k int32, val []*community.Community) {
+func (c *Cache) Put(v, k int32, val []community.Ref) {
 	if c == nil {
 		return
 	}

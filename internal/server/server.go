@@ -5,15 +5,20 @@
 //
 // Endpoints:
 //
-//	GET  /community?v=<vertex>&k=<level>[&edges=1]  one community query
-//	POST /batch                                     many queries, fanned out
-//	GET  /healthz                                   liveness + index shape
-//	GET  /metrics                                   Prometheus text exposition
+//	GET  /community?v=<vertex>&k=<level>[&vertices=1][&edges=1]  one community query
+//	POST /batch                                                  many queries, fanned out
+//	GET  /membership?v=<vertex>                                  per-level community counts
+//	GET  /healthz                                                liveness + index shape
+//	GET  /metrics                                                Prometheus text exposition
 //
-// Three pieces make it safe under load: an LRU cache keyed by (vertex, k)
-// with hit/miss counters in the obs registry, a bounded worker pool so a
-// batch of 10k queries degrades to queueing rather than a goroutine flood,
-// and graceful shutdown that drains in-flight requests with a timeout.
+// Queries are answered from the precomputed community hierarchy (built once
+// at server construction): responses carry O(1) edge/vertex counts by
+// default, and member vertex or edge lists are materialized only when the
+// client opts in. Three pieces make it safe under load: an LRU cache keyed
+// by (vertex, normalized k) holding compact community refs, a bounded
+// worker pool so a batch of 10k queries degrades to queueing rather than a
+// goroutine flood, and graceful shutdown that drains in-flight requests
+// with a timeout.
 package server
 
 import (
@@ -27,6 +32,7 @@ import (
 	"time"
 
 	"equitruss/internal/community"
+	"equitruss/internal/core"
 	"equitruss/internal/faults"
 	"equitruss/internal/obs"
 )
@@ -34,6 +40,8 @@ import (
 var (
 	cCommunityRequests = obs.GetCounter("server_community_requests",
 		"GET /community requests served")
+	cMembershipRequests = obs.GetCounter("server_membership_requests",
+		"GET /membership requests served")
 	cBatchRequests = obs.GetCounter("server_batch_requests",
 		"POST /batch requests served")
 	cBatchQueries = obs.GetCounter("server_batch_queries",
@@ -132,10 +140,24 @@ func New(idx *community.Index, cfg Config) *Server {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/community", s.limited(s.handleCommunity))
 	s.mux.HandleFunc("/batch", s.limited(s.handleBatch))
+	s.mux.HandleFunc("/membership", s.limited(s.handleMembership))
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.handler = s.recovered(s.mux)
+	// Build the hierarchy before accepting traffic so the first query pays
+	// no lazy-build latency spike.
+	idx.Hierarchy()
 	return s
+}
+
+// normalizeK clamps a client-supplied level to the query path's effective
+// minimum, so k = -5, 0, and 3 — which all produce the identical answer —
+// share one cache entry instead of fragmenting the LRU.
+func normalizeK(k int32) int32 {
+	if k < core.MinK {
+		return core.MinK
+	}
+	return k
 }
 
 // Handler returns the server's HTTP handler for embedding into an existing
@@ -218,16 +240,19 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string, drain time.Dur
 	return err
 }
 
-// communityDoc is one community in a JSON response.
+// communityDoc is one community in a JSON response. Size and NumEdges come
+// from the hierarchy's precomputed per-community counts; Vertices and Edges
+// are materialized only when the client opts in with vertices=1 / edges=1.
 type communityDoc struct {
 	K        int32   `json:"k"`
 	Size     int     `json:"size"`
 	NumEdges int     `json:"num_edges"`
-	Vertices []int32 `json:"vertices"`
+	Vertices []int32 `json:"vertices,omitempty"`
 	Edges    []int32 `json:"edges,omitempty"`
 }
 
-// queryDoc is the answer to one (vertex, k) lookup.
+// queryDoc is the answer to one (vertex, k) lookup. K is the normalized
+// level the query was answered (and cached) at.
 type queryDoc struct {
 	Vertex      int32          `json:"vertex"`
 	K           int32          `json:"k"`
@@ -236,13 +261,18 @@ type queryDoc struct {
 	Communities []communityDoc `json:"communities"`
 }
 
-func renderQuery(v, k int32, cs []*community.Community, cached, withEdges bool) queryDoc {
-	doc := queryDoc{Vertex: v, K: k, Count: len(cs), Cached: cached, Communities: make([]communityDoc, len(cs))}
-	for i, c := range cs {
-		verts := c.Vertices()
-		cd := communityDoc{K: c.K, Size: len(verts), NumEdges: len(c.Edges), Vertices: verts}
-		if withEdges {
-			cd.Edges = c.Edges
+func renderQuery(v, k int32, refs []community.Ref, cached, withVertices, withEdges bool) queryDoc {
+	doc := queryDoc{Vertex: v, K: k, Count: len(refs), Cached: cached, Communities: make([]communityDoc, len(refs))}
+	for i, ref := range refs {
+		cd := communityDoc{K: ref.K, Size: int(ref.NumVertices()), NumEdges: int(ref.NumEdges())}
+		if withVertices || withEdges {
+			c := ref.Community()
+			if withVertices {
+				cd.Vertices = c.Vertices()
+			}
+			if withEdges {
+				cd.Edges = c.Edges
+			}
 		}
 		doc.Communities[i] = cd
 	}
@@ -250,10 +280,10 @@ func renderQuery(v, k int32, cs []*community.Community, cached, withEdges bool) 
 }
 
 // lookup answers one query through the cache, computing (and caching) on a
-// miss under a reserved pool slot.
-func (s *Server) lookup(ctx context.Context, v, k int32) ([]*community.Community, bool, error) {
-	if cs, ok := s.cache.Get(v, k); ok {
-		return cs, true, nil
+// miss under a reserved pool slot. k must already be normalized.
+func (s *Server) lookup(ctx context.Context, v, k int32) ([]community.Ref, bool, error) {
+	if refs, ok := s.cache.Get(v, k); ok {
+		return refs, true, nil
 	}
 	got, err := s.pool.Reserve(ctx, 1)
 	if err != nil {
@@ -266,9 +296,9 @@ func (s *Server) lookup(ctx context.Context, v, k int32) ([]*community.Community
 	if err := faults.Inject(siteQuery); err != nil {
 		return nil, false, err
 	}
-	cs := s.idx.Communities(v, k)
-	s.cache.Put(v, k, cs)
-	return cs, false, nil
+	refs := s.idx.CommunityRefs(v, k)
+	s.cache.Put(v, k, refs)
+	return refs, false, nil
 }
 
 func (s *Server) handleCommunity(w http.ResponseWriter, r *http.Request) {
@@ -293,13 +323,54 @@ func (s *Server) handleCommunity(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "vertex %d outside [0, %d)", v, s.idx.G.NumVertices())
 		return
 	}
-	cs, cached, err := s.lookup(r.Context(), v, k)
+	k = normalizeK(k)
+	refs, cached, err := s.lookup(r.Context(), v, k)
 	if err != nil {
 		s.fail(w, http.StatusServiceUnavailable, "query aborted: %v", err)
 		return
 	}
+	withVertices := r.URL.Query().Get("vertices") != ""
 	withEdges := r.URL.Query().Get("edges") != ""
-	writeJSON(w, http.StatusOK, renderQuery(v, k, cs, cached, withEdges))
+	writeJSON(w, http.StatusOK, renderQuery(v, k, refs, cached, withVertices, withEdges))
+	cLatencyNS.Add(time.Since(start).Nanoseconds())
+	span.EndItems(1)
+}
+
+// membershipDoc is the GET /membership response: the per-level overlapping
+// community profile of one vertex, answered from the hierarchy without
+// materializing any community.
+type membershipDoc struct {
+	Vertex     int32         `json:"vertex"`
+	MaxK       int32         `json:"max_k"`
+	Membership map[int32]int `json:"membership"`
+}
+
+func (s *Server) handleMembership(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	span := s.tr.Start("HTTP /membership")
+	start := time.Now()
+	cMembershipRequests.Inc()
+	v, err := parseInt32(r.URL.Query().Get("v"))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "bad v: %v", err)
+		return
+	}
+	if v < 0 || v >= s.idx.G.NumVertices() {
+		s.fail(w, http.StatusBadRequest, "vertex %d outside [0, %d)", v, s.idx.G.NumVertices())
+		return
+	}
+	if err := faults.Inject(siteQuery); err != nil {
+		s.fail(w, http.StatusServiceUnavailable, "query aborted: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, membershipDoc{
+		Vertex:     v,
+		MaxK:       s.idx.MaxK(v),
+		Membership: s.idx.Membership(v),
+	})
 	cLatencyNS.Add(time.Since(start).Nanoseconds())
 	span.EndItems(1)
 }
@@ -310,7 +381,8 @@ type batchRequest struct {
 		V int32 `json:"v"`
 		K int32 `json:"k"`
 	} `json:"queries"`
-	Edges bool `json:"edges,omitempty"`
+	Vertices bool `json:"vertices,omitempty"`
+	Edges    bool `json:"edges,omitempty"`
 }
 
 type batchResponse struct {
@@ -345,10 +417,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	// Resolve cache hits first, collapse duplicate (vertex, k) misses to
-	// one computation each, then fan the survivors out through
-	// BatchCommunitiesCtx with parallelism granted by the pool.
-	results := make([][]*community.Community, len(req.Queries))
+	// Normalize every k up front, resolve cache hits, collapse duplicate
+	// (vertex, k) misses to one computation each, then fan the survivors
+	// out through BatchCommunityRefsCtx with parallelism granted by the
+	// pool. Normalizing before the dedup key means k=0 and k=3 collapse to
+	// one computation and one cache entry.
+	norm := make([]int32, len(req.Queries))
+	results := make([][]community.Ref, len(req.Queries))
 	cached := make([]bool, len(req.Queries))
 	var missIdx []int  // original query index of each miss
 	var missSlot []int // which missQ entry answers it
@@ -356,17 +431,19 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	slotOf := make(map[int64]int)
 	deduped := int64(0)
 	for i, q := range req.Queries {
-		if cs, ok := s.cache.Get(q.V, q.K); ok {
-			results[i] = cs
+		k := normalizeK(q.K)
+		norm[i] = k
+		if refs, ok := s.cache.Get(q.V, k); ok {
+			results[i] = refs
 			cached[i] = true
 			continue
 		}
-		key := int64(q.V)<<32 | int64(uint32(q.K))
+		key := int64(q.V)<<32 | int64(uint32(k))
 		slot, ok := slotOf[key]
 		if !ok {
 			slot = len(missQ)
 			slotOf[key] = slot
-			missQ = append(missQ, community.Query{Vertex: q.V, K: q.K})
+			missQ = append(missQ, community.Query{Vertex: q.V, K: k})
 		} else {
 			deduped++
 		}
@@ -392,7 +469,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			s.fail(w, http.StatusServiceUnavailable, "batch aborted: %v", err)
 			return
 		}
-		out, err := s.idx.BatchCommunitiesCtx(r.Context(), missQ, got)
+		out, err := s.idx.BatchCommunityRefsCtx(r.Context(), missQ, got)
 		if err != nil {
 			s.fail(w, http.StatusServiceUnavailable, "batch aborted: %v", err)
 			return
@@ -405,7 +482,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := batchResponse{Results: make([]queryDoc, len(req.Queries))}
 	for i, q := range req.Queries {
-		resp.Results[i] = renderQuery(q.V, q.K, results[i], cached[i], req.Edges)
+		resp.Results[i] = renderQuery(q.V, norm[i], results[i], cached[i], req.Vertices, req.Edges)
 	}
 	writeJSON(w, http.StatusOK, resp)
 	cBatchQueries.Add(int64(len(req.Queries)))
@@ -415,11 +492,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":     "ok",
-		"vertices":   s.idx.G.NumVertices(),
-		"edges":      s.idx.G.NumEdges(),
-		"supernodes": s.idx.SG.NumSupernodes(),
-		"superedges": s.idx.SG.NumSuperedges(),
+		"status":          "ok",
+		"vertices":        s.idx.G.NumVertices(),
+		"edges":           s.idx.G.NumEdges(),
+		"supernodes":      s.idx.SG.NumSupernodes(),
+		"superedges":      s.idx.SG.NumSuperedges(),
+		"hierarchy_nodes": s.idx.Hierarchy().NumNodes(),
 	})
 }
 

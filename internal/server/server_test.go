@@ -341,3 +341,132 @@ func TestGracefulShutdownDrainsInflight(t *testing.T) {
 		t.Fatal("server still accepting connections after shutdown")
 	}
 }
+
+// TestCacheNormalizesK covers the cache-fragmentation fix: every k below
+// core.MinK produces the identical answer, so k = -5, 0, 1, 2, 3 must share
+// one LRU entry (and hit it after the first miss) instead of occupying five.
+func TestCacheNormalizesK(t *testing.T) {
+	idx, _ := buildTestIndex(t)
+	s := New(idx, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	hitsBefore := cCacheHits.Value()
+	for i, k := range []int32{-5, 0, 1, 2, 3} {
+		var doc queryDoc
+		getJSON(t, ts, fmt.Sprintf("/community?v=1&k=%d", k), &doc)
+		if doc.K != core.MinK {
+			t.Fatalf("k=%d: response k %d, want normalized %d", k, doc.K, core.MinK)
+		}
+		if wantCached := i > 0; doc.Cached != wantCached {
+			t.Fatalf("k=%d: cached=%v, want %v", k, doc.Cached, wantCached)
+		}
+	}
+	if n := s.cache.Len(); n != 1 {
+		t.Fatalf("cache holds %d entries for one normalized query, want 1", n)
+	}
+	if got := cCacheHits.Value() - hitsBefore; got != 4 {
+		t.Fatalf("cache hit counter grew by %d, want 4", got)
+	}
+	// Batch path must normalize too: a batch mixing raw levels for the same
+	// vertex stays one cache entry and reports every query cached.
+	body := `{"queries":[{"v":1,"k":-2},{"v":1,"k":0},{"v":1,"k":3}]}`
+	resp, err := ts.Client().Post(ts.URL+"/batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /batch: %v", err)
+	}
+	defer resp.Body.Close()
+	var br batchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	for i, r := range br.Results {
+		if r.K != core.MinK || !r.Cached {
+			t.Fatalf("batch result %d: k=%d cached=%v, want k=%d cached=true", i, r.K, r.Cached, core.MinK)
+		}
+	}
+	if n := s.cache.Len(); n != 1 {
+		t.Fatalf("cache holds %d entries after batch, want 1", n)
+	}
+}
+
+// TestMembershipEndpoint checks the cheap per-vertex profile endpoint
+// against the BFS oracle and its error handling.
+func TestMembershipEndpoint(t *testing.T) {
+	idx, _ := buildTestIndex(t)
+	ts := httptest.NewServer(New(idx, Config{}).Handler())
+	defer ts.Close()
+	checked := 0
+	for v := int32(0); v < idx.G.NumVertices() && checked < 25; v++ {
+		var doc membershipDoc
+		resp := getJSON(t, ts, fmt.Sprintf("/membership?v=%d", v), &doc)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("v=%d: status %d", v, resp.StatusCode)
+		}
+		want := idx.MembershipBFS(v)
+		if doc.MaxK != idx.MaxK(v) {
+			t.Fatalf("v=%d: max_k %d, want %d", v, doc.MaxK, idx.MaxK(v))
+		}
+		if len(doc.Membership) != len(want) {
+			t.Fatalf("v=%d: profile %v, oracle %v", v, doc.Membership, want)
+		}
+		for k, n := range want {
+			if doc.Membership[k] != n {
+				t.Fatalf("v=%d k=%d: count %d, oracle %d", v, k, doc.Membership[k], n)
+			}
+		}
+		if len(want) > 0 {
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no vertex with a non-empty profile checked")
+	}
+	for _, c := range []struct {
+		path string
+		want int
+	}{
+		{"/membership", http.StatusBadRequest},
+		{"/membership?v=abc", http.StatusBadRequest},
+		{"/membership?v=-1", http.StatusBadRequest},
+		{"/membership?v=99999999", http.StatusBadRequest},
+	} {
+		if resp := getJSON(t, ts, c.path, nil); resp.StatusCode != c.want {
+			t.Errorf("%s: status %d, want %d", c.path, resp.StatusCode, c.want)
+		}
+	}
+}
+
+// TestCommunityVerticesParam checks that vertex lists are omitted by default
+// (counts come from the hierarchy) and materialized on vertices=1.
+func TestCommunityVerticesParam(t *testing.T) {
+	idx, tau := buildTestIndex(t)
+	ts := httptest.NewServer(New(idx, Config{}).Handler())
+	defer ts.Close()
+	var v int32 = -1
+	for u := int32(0); u < idx.G.NumVertices(); u++ {
+		if len(community.DirectCommunities(idx.G, tau, u, 3)) > 0 {
+			v = u
+			break
+		}
+	}
+	if v < 0 {
+		t.Skip("no vertex with communities")
+	}
+	var plain, withV queryDoc
+	getJSON(t, ts, fmt.Sprintf("/community?v=%d&k=3", v), &plain)
+	getJSON(t, ts, fmt.Sprintf("/community?v=%d&k=3&vertices=1", v), &withV)
+	want := community.CanonicalizeCommunities(community.DirectCommunities(idx.G, tau, v, 3))
+	for i, c := range plain.Communities {
+		if c.Vertices != nil {
+			t.Fatalf("community %d: vertices present without vertices=1", i)
+		}
+		if c.Size != len(want[i].Vertices()) {
+			t.Fatalf("community %d: size %d, oracle %d", i, c.Size, len(want[i].Vertices()))
+		}
+	}
+	for i, c := range withV.Communities {
+		if fmt.Sprint(c.Vertices) != fmt.Sprint(want[i].Vertices()) {
+			t.Fatalf("community %d: vertices %v, oracle %v", i, c.Vertices, want[i].Vertices())
+		}
+	}
+}
