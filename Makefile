@@ -2,12 +2,18 @@
 
 GO ?= go
 
-.PHONY: all build test race bench benchcheck repro examples ci serversmoke chaos clean
+# Stamp the binary with the git revision so `equitruss version` and the
+# /healthz "revision" field identify the build even when the module was
+# compiled outside a checkout (where debug.ReadBuildInfo has no vcs info).
+REV ?= $(shell git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)
+LDFLAGS := -X equitruss/internal/buildinfo.revision=$(REV)
+
+.PHONY: all build test race bench benchcheck repro examples ci serversmoke servermetrics chaos clean
 
 all: build test
 
 build:
-	$(GO) build ./...
+	$(GO) build -ldflags '$(LDFLAGS)' ./...
 
 test:
 	$(GO) test ./...
@@ -19,7 +25,7 @@ race:
 # scanner is installed), build, full tests, the race-detector subset
 # covering the shared-state hot spots (schedulers, connected components,
 # the query server), and the chaos suite.
-ci: serversmoke chaos
+ci: serversmoke servermetrics chaos
 	$(GO) vet ./...
 	@if command -v govulncheck >/dev/null 2>&1; then \
 		govulncheck ./...; \
@@ -27,9 +33,9 @@ ci: serversmoke chaos
 		echo "govulncheck not installed — skipping vulnerability scan"; \
 		echo "  (go install golang.org/x/vuln/cmd/govulncheck@latest to enable)"; \
 	fi
-	$(GO) build ./...
+	$(GO) build -ldflags '$(LDFLAGS)' ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/concur ./internal/cc ./internal/triangle ./internal/community
+	$(GO) test -race ./internal/concur ./internal/cc ./internal/triangle ./internal/community ./internal/obs
 	$(MAKE) benchcheck
 
 # Perf regression gate: rerun the Support kernel sweep and the query-path
@@ -46,6 +52,13 @@ benchcheck:
 # against a precomputed oracle.
 serversmoke:
 	$(GO) test -race -run 'TestServerSmokeConcurrent|TestGracefulShutdownDrainsInflight' ./internal/server
+
+# Race-enabled observability proof: concurrent mixed load against one
+# handler with 1-in-1 sampling, then asserts /metrics exposes the latency
+# histograms + runtime/instance gauges, /debug/requests retains stage
+# traces, and the JSON log joins on request_id.
+servermetrics:
+	$(GO) test -race -run 'TestServerMetricsUnderLoad|TestErroredRequestRetainedAndLogged|TestHealthzRevision' ./internal/server
 
 # Fault-injection and robustness proofs, all race-enabled: mid-build
 # cancellation with goroutine-leak assertions, corrupt-index rejection,

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"equitruss/internal/obs"
+)
+
+// TestConfigObserveNilSafe: experiments run by other tests construct config
+// by hand without a histogram; observe must be a no-op there.
+func TestConfigObserveNilSafe(t *testing.T) {
+	var cfg config
+	cfg.observe(time.Millisecond) // must not panic
+}
+
+// TestTimeQueryObservesEveryRep pins the contract the artifact's latency
+// block depends on: every rep lands in the histogram, not just the minimum.
+func TestTimeQueryObservesEveryRep(t *testing.T) {
+	cfg := config{hist: obs.NewHistogram("test_timequery", "test")}
+	runs := 0
+	_, sum := timeQuery(cfg, func() uint64 {
+		runs++
+		time.Sleep(time.Millisecond)
+		return 42
+	})
+	if runs != supportReps {
+		t.Fatalf("workload ran %d times, want %d", runs, supportReps)
+	}
+	if sum != 42 {
+		t.Fatalf("checksum = %d, want 42", sum)
+	}
+	s := cfg.hist.Snapshot().Summary()
+	if s.Count != int64(supportReps) {
+		t.Fatalf("histogram observed %d samples, want %d", s.Count, supportReps)
+	}
+	if s.P95 < time.Millisecond {
+		t.Fatalf("p95 = %v, want >= 1ms (every rep slept that long)", s.P95)
+	}
+}
+
+// TestLatencyDocJSON pins the artifact field names the dashboard-side
+// consumers key on.
+func TestLatencyDocJSON(t *testing.T) {
+	doc := latencyDoc{Samples: 3, MeanSec: 0.5, P50Seconds: 0.4, P95Seconds: 0.9, P99Seconds: 1.1}
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"samples":3`, `"mean_seconds":0.5`, `"p50_seconds":0.4`, `"p95_seconds":0.9`, `"p99_seconds":1.1`} {
+		if !strings.Contains(string(raw), key) {
+			t.Fatalf("latency doc %s missing %s", raw, key)
+		}
+	}
+}

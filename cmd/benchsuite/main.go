@@ -50,6 +50,18 @@ type config struct {
 	verbose bool
 	sink    *tsvSink       // optional TSV mirror of every table
 	art     *benchArtifact // run artifact; experiments may append rows
+	// hist collects every individual timed repetition of the current
+	// experiment (fresh per experiment), so the artifact reports latency
+	// quantiles over the actual sample population, not just min-of-reps.
+	hist *obs.Histogram
+}
+
+// observe records one timed repetition into the current experiment's
+// latency histogram (nil-safe for direct test calls of run functions).
+func (cfg config) observe(d time.Duration) {
+	if cfg.hist != nil {
+		cfg.hist.Observe(d)
+	}
 }
 
 var experiments = []experiment{
@@ -125,13 +137,25 @@ func main() {
 	for _, e := range experiments {
 		if (wanted["all"] && !e.onlyExplicit) || wanted[e.id] {
 			fmt.Printf("== %s ==\n", e.title)
+			cfg.hist = obs.NewHistogram("exp_"+e.id, e.title)
 			start := time.Now()
 			e.run(cfg)
 			wall := time.Since(start)
+			res := experimentResult{ID: e.id, Title: e.title, Seconds: wall.Seconds()}
+			if sum := cfg.hist.Snapshot().Summary(); sum.Count > 0 {
+				res.Latency = &latencyDoc{
+					Samples:    sum.Count,
+					MeanSec:    sum.Mean.Seconds(),
+					P50Seconds: sum.P50.Seconds(),
+					P95Seconds: sum.P95.Seconds(),
+					P99Seconds: sum.P99.Seconds(),
+				}
+				fmt.Printf("(latency over %d timed reps: p50=%v p95=%v p99=%v)\n",
+					sum.Count, sum.P50.Round(time.Microsecond),
+					sum.P95.Round(time.Microsecond), sum.P99.Round(time.Microsecond))
+			}
 			fmt.Printf("(experiment wall time: %v)\n\n", wall.Round(time.Millisecond))
-			art.Experiments = append(art.Experiments, experimentResult{
-				ID: e.id, Title: e.title, Seconds: wall.Seconds(),
-			})
+			art.Experiments = append(art.Experiments, res)
 			ran = true
 		}
 	}
@@ -219,6 +243,20 @@ type experimentResult struct {
 	ID      string  `json:"id"`
 	Title   string  `json:"title"`
 	Seconds float64 `json:"seconds"`
+	// Latency summarizes the distribution of the experiment's individual
+	// timed repetitions (present only for experiments that time reps).
+	// Purely informational: the -check gate reads only the normalized
+	// min-of-reps ratios, never these quantiles.
+	Latency *latencyDoc `json:"latency,omitempty"`
+}
+
+// latencyDoc is the per-experiment latency quantile summary in BENCH_*.json.
+type latencyDoc struct {
+	Samples    int64  `json:"samples"`
+	MeanSec    float64 `json:"mean_seconds"`
+	P50Seconds float64 `json:"p50_seconds"`
+	P95Seconds float64 `json:"p95_seconds"`
+	P99Seconds float64 `json:"p99_seconds"`
 }
 
 // writeArtifact writes the artifact into dir (cwd when empty) and returns

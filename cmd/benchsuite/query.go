@@ -89,7 +89,7 @@ func runQuery(cfg config) {
 		refSec := 0.0
 		var want uint64
 		for i, e := range w.engines {
-			sec, sum := timeQuery(e.run)
+			sec, sum := timeQuery(cfg, e.run)
 			if i == 0 {
 				refSec, want = sec, sum
 			} else if sum != want {
@@ -109,14 +109,17 @@ func runQuery(cfg config) {
 }
 
 // timeQuery returns the min-of-reps workload time in seconds and the answer
-// checksum, mirroring timeSupport.
-func timeQuery(f func() uint64) (float64, uint64) {
+// checksum, mirroring timeSupport (including the per-rep latency
+// observation into the experiment histogram).
+func timeQuery(cfg config, f func() uint64) (float64, uint64) {
 	best := 0.0
 	var sum uint64
 	for r := 0; r < supportReps; r++ {
 		start := time.Now()
 		s := f()
-		sec := time.Since(start).Seconds()
+		dur := time.Since(start)
+		cfg.observe(dur)
+		sec := dur.Seconds()
 		if r == 0 || sec < best {
 			best = sec
 		}

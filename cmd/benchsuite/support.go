@@ -37,7 +37,7 @@ func runSupport(cfg config) {
 		mergeSec := 0.0
 		var want uint64
 		for i, k := range supportKernels {
-			sec, sum := timeSupport(g, k, cfg.maxThr)
+			sec, sum := timeSupport(cfg, g, k, cfg.maxThr)
 			if i == 0 {
 				mergeSec, want = sec, sum
 			} else if sum != want {
@@ -75,11 +75,13 @@ func runRMAT18(cfg config) {
 	g := gen.RMAT(rmat18Scale, rmat18EdgeFactor, 0.57, 0.19, 0.19, rmat18Seed)
 	fmt.Printf("rmat18: %d vertices, %d edges, kernel=%s\n",
 		g.NumVertices(), g.NumEdges(), cfg.kernel)
-	sec, sum := timeSupport(g, cfg.kernel, cfg.maxThr)
+	sec, sum := timeSupport(cfg, g, cfg.kernel, cfg.maxThr)
 	sup := triangle.SupportsKernel(g, cfg.kernel, cfg.maxThr)
 	start := time.Now()
 	tau, _ := truss.DecomposeParallel(g, sup, cfg.maxThr)
-	decompSec := time.Since(start).Seconds()
+	decomp := time.Since(start)
+	cfg.observe(decomp)
+	decompSec := decomp.Seconds()
 	t := newTable("Graph", "Kernel", "Support(s)", "Decompose(s)", "SupSum", "TauSum")
 	t.row("rmat18", cfg.kernel.String(), sec, decompSec, sum, checksumInt32(tau))
 	if cfg.art != nil {
@@ -92,14 +94,19 @@ func runRMAT18(cfg config) {
 }
 
 // timeSupport returns the min-of-reps Support time in seconds and the
-// FNV-1a checksum of the resulting support array.
-func timeSupport(g *graph.Graph, k triangle.Kernel, threads int) (float64, uint64) {
+// FNV-1a checksum of the resulting support array. Every individual rep is
+// also observed into the experiment's latency histogram, so the artifact's
+// quantiles describe the full sample population while the returned
+// min-of-reps keeps the -check ratios noise-resistant.
+func timeSupport(cfg config, g *graph.Graph, k triangle.Kernel, threads int) (float64, uint64) {
 	best := 0.0
 	var sum uint64
 	for r := 0; r < supportReps; r++ {
 		start := time.Now()
 		sup := triangle.SupportsKernel(g, k, threads)
-		sec := time.Since(start).Seconds()
+		dur := time.Since(start)
+		cfg.observe(dur)
+		sec := dur.Seconds()
 		if r == 0 || sec < best {
 			best = sec
 		}

@@ -21,12 +21,14 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
 	"syscall"
 
 	"equitruss"
+	"equitruss/internal/buildinfo"
 	"equitruss/internal/graphio"
 	"equitruss/internal/truss"
 )
@@ -48,6 +50,8 @@ func main() {
 		err = runExport(os.Args[2:])
 	case "serve":
 		err = runServe(os.Args[2:])
+	case "version", "-version", "--version":
+		fmt.Printf("equitruss %s (%s)\n", buildinfo.Revision(), runtime.Version())
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -67,7 +71,8 @@ func usage() {
   equitruss query -graph <...> (-index index.bin | -variant ...) -vertex V -k K
   equitruss stats -graph <...> [-variant ...] [-support-kernel ...] [-threads N]
   equitruss export -graph <...> [-what summary|graph] [-out file.dot]
-  equitruss serve -graph <...> [-index index.bin | -variant ...] [-addr :8080] [-cache N] [-workers N] [-maxbatch N] [-drain 10s]
+  equitruss serve -graph <...> [-index index.bin | -variant ...] [-addr :8080] [-cache N] [-workers N] [-maxbatch N] [-drain 10s] [-log-format text|json] [-sample N] [-slow 250ms]
+  equitruss version
 `)
 }
 

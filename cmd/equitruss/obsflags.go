@@ -3,20 +3,24 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"runtime/pprof"
 
 	"equitruss"
+	olog "equitruss/internal/obs/log"
 )
 
 // obsFlags bundles the observability flags shared by the build and stats
 // subcommands: -trace writes a Chrome trace-event JSON file of the run,
-// -counters prints the process counter registry afterwards, and -pprof
-// captures a CPU profile around the build.
+// -counters prints the process counter registry afterwards, -pprof
+// captures a CPU profile around the build, and -log-format selects the
+// process-wide structured-log encoding.
 type obsFlags struct {
 	tracePath *string
 	counters  *bool
 	pprofPath *string
+	logFormat *string
 	tr        *equitruss.Tracer
 	pprofFile *os.File
 }
@@ -26,12 +30,19 @@ func addObsFlags(fs *flag.FlagSet) *obsFlags {
 		tracePath: fs.String("trace", "", "write Chrome trace-event JSON here (open in chrome://tracing or Perfetto)"),
 		counters:  fs.Bool("counters", false, "print the process counter registry after the run"),
 		pprofPath: fs.String("pprof", "", "write a CPU profile of the run here"),
+		logFormat: fs.String("log-format", "text", "structured log encoding: text|json"),
 	}
 }
 
-// begin starts the CPU profile if requested and returns the tracer for the
-// run — nil when -trace is unset, so an untraced run pays nothing.
+// begin installs the process logger, starts the CPU profile if requested,
+// and returns the tracer for the run — nil when -trace is unset, so an
+// untraced run pays nothing.
 func (o *obsFlags) begin() (*equitruss.Tracer, error) {
+	format, err := olog.ParseFormat(*o.logFormat)
+	if err != nil {
+		return nil, err
+	}
+	olog.Init(os.Stderr, format, slog.LevelInfo)
 	if *o.tracePath != "" {
 		o.tr = equitruss.NewTracer()
 	}

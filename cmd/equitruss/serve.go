@@ -4,6 +4,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"os"
 	"os/signal"
@@ -11,6 +12,8 @@ import (
 	"time"
 
 	"equitruss"
+	"equitruss/internal/buildinfo"
+	olog "equitruss/internal/obs/log"
 )
 
 // runServe loads (or builds) an index once and serves community queries
@@ -19,7 +22,10 @@ func runServe(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	return runServeCtx(ctx, args, func(addr net.Addr) {
-		fmt.Printf("serving community queries on http://%s (GET /community, POST /batch, /healthz, /metrics)\n", addr)
+		olog.L().Info("serving community queries",
+			slog.String("addr", addr.String()),
+			slog.String("url", "http://"+addr.String()),
+			slog.String("endpoints", "/community /batch /membership /healthz /metrics /debug/requests"))
 	})
 }
 
@@ -39,10 +45,24 @@ func runServeCtx(ctx context.Context, args []string, onListen func(net.Addr)) er
 	reqTimeout := fs.Duration("reqtimeout", 0, "per-request deadline for query endpoints (0 = none)")
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 	trace := fs.Bool("trace", false, "record per-request latency spans, exposed via /metrics (diagnostic runs only: spans accumulate unbounded)")
+	logFormat := fs.String("log-format", "text", "structured log encoding: text|json")
+	logLevel := fs.String("log-level", "info", "minimum log level: debug|info|warn|error")
+	sampleN := fs.Int("sample", 0, "stage-trace one in every N requests for /debug/requests (0 = default 64, 1 = all, negative disables)")
+	slowThresh := fs.Duration("slow", 0, "retain requests at least this slow in /debug/requests (0 = default 250ms, negative disables)")
+	debugRing := fs.Int("debug-ring", 0, "traces retained per /debug/requests ring (0 = default 64)")
 	fs.Parse(args)
 	// Validate the whole flag set up front, before the expensive graph load
 	// and before binding the listener: a typo'd index path or address should
 	// fail in milliseconds, not after minutes of loading.
+	format, err := olog.ParseFormat(*logFormat)
+	if err != nil {
+		return err
+	}
+	level, err := parseLogLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	log := olog.Init(os.Stderr, format, level)
 	if *graphSpec == "" {
 		return fmt.Errorf("-graph is required")
 	}
@@ -75,22 +95,30 @@ func runServeCtx(ctx context.Context, args []string, onListen func(net.Addr)) er
 	if err != nil {
 		return err
 	}
-	fmt.Printf("graph: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+	log.Info("graph loaded",
+		slog.String("graph", *graphSpec),
+		slog.Int64("vertices", int64(g.NumVertices())),
+		slog.Int64("edges", int64(g.NumEdges())),
+		slog.String("revision", buildinfo.Revision()))
 	var idx *equitruss.Index
 	if *indexPath != "" {
 		idx, err = equitruss.LoadIndexFile(*indexPath, g)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("index loaded from %s\n", *indexPath)
+		log.Info("index loaded", slog.String("path", *indexPath))
 	} else {
 		idx, err = equitruss.BuildIndex(g, equitruss.Options{Variant: variant, Threads: *threads, Context: ctx})
 		if err != nil {
 			return err
 		}
-		fmt.Printf("index built (%v) in %v\n", variant, idx.Timings.Total())
+		log.Info("index built",
+			slog.String("variant", fmt.Sprintf("%v", variant)),
+			slog.Duration("duration", idx.Timings.Total()))
 	}
-	fmt.Printf("index: %d supernodes, %d superedges\n", idx.SG.NumSupernodes(), idx.SG.NumSuperedges())
+	log.Info("index ready",
+		slog.Int64("supernodes", int64(idx.SG.NumSupernodes())),
+		slog.Int64("superedges", int64(idx.SG.NumSuperedges())))
 	var tr *equitruss.Tracer
 	if *trace {
 		tr = equitruss.NewTracer()
@@ -104,6 +132,19 @@ func runServeCtx(ctx context.Context, args []string, onListen func(net.Addr)) er
 		RequestTimeout: *reqTimeout,
 		DrainTimeout:   *drain,
 		Tracer:         tr,
+		TraceSampleN:   *sampleN,
+		SlowThreshold:  *slowThresh,
+		DebugRing:      *debugRing,
+		Logger:         log,
 		OnListen:       onListen,
 	})
+}
+
+// parseLogLevel maps a -log-level flag value onto a slog.Level.
+func parseLogLevel(s string) (slog.Level, error) {
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(s)); err != nil {
+		return 0, fmt.Errorf("bad -log-level %q (want debug|info|warn|error)", s)
+	}
+	return level, nil
 }

@@ -129,3 +129,64 @@ func TestRunServeBuildsWithoutIndex(t *testing.T) {
 		t.Fatalf("serve returned %v", err)
 	}
 }
+
+// TestRunServeLogFlags covers the -log-format / -log-level / -sample /
+// -slow / -debug-ring serve flags end to end: a JSON-logged server comes
+// up, answers a query, and exposes the trace via /debug/requests.
+func TestRunServeLogFlags(t *testing.T) {
+	dir := t.TempDir()
+	gpath := writeCliqueGraph(t, dir, 5)
+	if err := runServeCtx(context.Background(), []string{"-graph", gpath, "-log-format", "yaml"}, nil); err == nil {
+		t.Fatal("bad -log-format accepted")
+	}
+	if err := runServeCtx(context.Background(), []string{"-graph", gpath, "-log-level", "loud"}, nil); err == nil {
+		t.Fatal("bad -log-level accepted")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addrCh := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- runServeCtx(ctx, []string{
+			"-graph", gpath, "-variant", "coptimal", "-addr", "127.0.0.1:0", "-drain", "2s",
+			"-log-format", "json", "-log-level", "debug", "-sample", "1", "-slow", "1h", "-debug-ring", "8",
+		}, func(a net.Addr) { addrCh <- a.String() })
+	}()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case err := <-done:
+		t.Fatalf("serve exited before listening: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve never started listening")
+	}
+	resp, err := http.Get("http://" + addr + "/community?v=0&k=5")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: %v / %d", err, resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp, err = http.Get("http://" + addr + "/debug/requests")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dbg struct {
+		SampleN int `json:"sample_n"`
+		Recent  []struct {
+			ID uint64 `json:"id"`
+		} `json:"recent"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&dbg)
+	resp.Body.Close()
+	if err != nil || dbg.SampleN != 1 || len(dbg.Recent) == 0 {
+		t.Fatalf("/debug/requests = %+v (err %v)", dbg, err)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v after shutdown", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not shut down")
+	}
+}

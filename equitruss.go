@@ -24,6 +24,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"time"
@@ -460,9 +461,41 @@ type ServeOptions struct {
 	// Tracer, when non-nil, records one latency span per request. Spans
 	// accumulate unbounded — diagnostic runs only.
 	Tracer *Tracer
+	// TraceSampleN records a full stage trace (parse → pool wait → cache →
+	// hierarchy query → encode) for one in every TraceSampleN requests,
+	// retained for GET /debug/requests. 0 selects the default (64), 1
+	// traces every request, negative disables sampling.
+	TraceSampleN int
+	// SlowThreshold is the latency at or above which a request is retained
+	// in /debug/requests even when unsampled. 0 selects the default
+	// (250ms), negative disables slow capture.
+	SlowThreshold time.Duration
+	// DebugRing is the capacity of each /debug/requests trace ring
+	// (recent and slow); 0 selects the default (64).
+	DebugRing int
+	// Logger receives one structured record per request (request_id,
+	// vertex, k, status, duration, cache_hit). Nil selects the process-wide
+	// default.
+	Logger *slog.Logger
 	// OnListen, when non-nil, receives the bound address once the listener
 	// is up (how callers of Addr ":0" learn the port).
 	OnListen func(net.Addr)
+}
+
+// serverConfig maps the public options onto the internal server config.
+func (opt ServeOptions) serverConfig() server.Config {
+	return server.Config{
+		CacheSize:      opt.CacheSize,
+		Workers:        opt.Workers,
+		MaxBatch:       opt.MaxBatch,
+		MaxInFlight:    opt.MaxInFlight,
+		RequestTimeout: opt.RequestTimeout,
+		Tracer:         opt.Tracer,
+		SampleN:        opt.TraceSampleN,
+		SlowThreshold:  opt.SlowThreshold,
+		DebugRing:      opt.DebugRing,
+		Logger:         opt.Logger,
+	}
 }
 
 // Serve answers community queries from the index over HTTP/JSON until ctx
@@ -477,14 +510,7 @@ func Serve(ctx context.Context, ix *Index, opt ServeOptions) error {
 	if addr == "" {
 		addr = ":8080"
 	}
-	s := server.New(ix.Index, server.Config{
-		CacheSize:      opt.CacheSize,
-		Workers:        opt.Workers,
-		MaxBatch:       opt.MaxBatch,
-		MaxInFlight:    opt.MaxInFlight,
-		RequestTimeout: opt.RequestTimeout,
-		Tracer:         opt.Tracer,
-	})
+	s := server.New(ix.Index, opt.serverConfig())
 	return s.ListenAndServe(ctx, addr, opt.DrainTimeout, opt.OnListen)
 }
 
@@ -492,12 +518,5 @@ func Serve(ctx context.Context, ix *Index, opt ServeOptions) error {
 // embedding into an existing server or mux (Addr, DrainTimeout, and
 // OnListen are ignored).
 func NewHandler(ix *Index, opt ServeOptions) http.Handler {
-	return server.New(ix.Index, server.Config{
-		CacheSize:      opt.CacheSize,
-		Workers:        opt.Workers,
-		MaxBatch:       opt.MaxBatch,
-		MaxInFlight:    opt.MaxInFlight,
-		RequestTimeout: opt.RequestTimeout,
-		Tracer:         opt.Tracer,
-	}).Handler()
+	return server.New(ix.Index, opt.serverConfig()).Handler()
 }

@@ -1,0 +1,57 @@
+// Package buildinfo reports the revision this binary was built from. Two
+// sources, in preference order: the VCS stamp the Go toolchain embeds when
+// building inside a git checkout, and the -ldflags -X override the
+// Makefile injects (which survives builds from an exported tarball where
+// no .git is present).
+package buildinfo
+
+import (
+	"runtime/debug"
+	"sync"
+)
+
+// revision is injected at link time:
+//
+//	go build -ldflags "-X equitruss/internal/buildinfo.revision=$(git rev-parse --short HEAD)"
+var revision string
+
+var (
+	once     sync.Once
+	resolved string
+)
+
+// Revision returns the short git revision of this build, with a "-dirty"
+// suffix when the working tree was modified, or "unknown" when neither
+// the toolchain stamp nor the ldflags override is available.
+func Revision() string {
+	once.Do(func() { resolved = resolve() })
+	return resolved
+}
+
+func resolve() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		var rev string
+		dirty := false
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+		if rev != "" {
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			if dirty {
+				rev += "-dirty"
+			}
+			return rev
+		}
+	}
+	if revision != "" {
+		return revision
+	}
+	return "unknown"
+}

@@ -1,0 +1,22 @@
+package buildinfo
+
+import "testing"
+
+func TestRevisionNonEmptyAndStable(t *testing.T) {
+	r := Revision()
+	if r == "" {
+		t.Fatal("Revision must never be empty")
+	}
+	if r != Revision() {
+		t.Fatal("Revision must be stable across calls")
+	}
+}
+
+func TestResolveFallback(t *testing.T) {
+	// In `go test` there is no main-module VCS stamp and no ldflags
+	// injection, so resolve must land on one of the documented sources —
+	// never an empty string.
+	if got := resolve(); got == "" {
+		t.Fatal("resolve returned empty string")
+	}
+}

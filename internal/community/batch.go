@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"equitruss/internal/concur"
+	"equitruss/internal/obs"
 )
 
 // BatchCommunities answers one query per (vertex, k) pair in parallel —
@@ -43,9 +44,14 @@ func (idx *Index) BatchCommunitiesCtx(ctx context.Context, queries []Query, thre
 func (idx *Index) BatchCommunityRefsCtx(ctx context.Context, queries []Query, threads int) ([][]Ref, error) {
 	idx.Hierarchy()
 	out := make([][]Ref, len(queries))
-	if err := concur.ForDynamicCtx(ctx, len(queries), threads, 8, func(i int) {
+	// One stage spanning the whole fan-out: stage recording is
+	// single-goroutine by contract, so the workers do not open sub-stages.
+	st := obs.StartStageFromContext(ctx, "hierarchy query")
+	err := concur.ForDynamicCtx(ctx, len(queries), threads, 8, func(i int) {
 		out[i] = idx.CommunityRefs(queries[i].Vertex, queries[i].K)
-	}); err != nil {
+	})
+	st.End()
+	if err != nil {
 		return nil, err
 	}
 	return out, nil

@@ -120,6 +120,17 @@ func (idx *Index) CommunityRefs(v int32, k int32) []Ref {
 	return refs
 }
 
+// CommunityRefsCtx is CommunityRefs with request-scoped observability: when
+// ctx carries a sampled request (obs.Req), the hierarchy walk is recorded
+// as a "hierarchy query" stage in that request's trace. The query itself is
+// unchanged — ctx carries no cancellation here because the walk is O(answer).
+func (idx *Index) CommunityRefsCtx(ctx context.Context, v int32, k int32) []Ref {
+	st := obs.StartStageFromContext(ctx, "hierarchy query")
+	refs := idx.CommunityRefs(v, k)
+	st.End()
+	return refs
+}
+
 // Communities returns every k-truss community containing vertex v, answered
 // from the precomputed hierarchy and materialized eagerly (Edges filled,
 // ascending) for API compatibility. Callers that only need membership or

@@ -45,17 +45,26 @@ type CounterValue struct {
 	Value int64  `json:"value"`
 }
 
-// Registry is a set of named counters. Registration is idempotent: the
-// first registration of a name wins (including its help text), so packages
-// can declare the counters they emit at init time without coordination.
+// Registry is a set of named metrics — monotonic counters, gauges,
+// latency histograms, and snapshot-time collectors. Registration is
+// idempotent: the first registration of a name wins (including its help
+// text), so packages can declare the metrics they emit at init time without
+// coordination.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	collectors []Collector
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{counters: make(map[string]*Counter)}
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
 }
 
 // Counter returns the counter registered under name, creating it on first

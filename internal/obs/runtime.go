@@ -1,0 +1,33 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+)
+
+// RegisterRuntimeCollector adds process-level runtime gauges to the
+// registry: goroutine count, heap size and object count, cumulative GC
+// pause time, and GC cycle count. Values are read at snapshot (scrape)
+// time — one ReadMemStats per exposition, nothing on any hot path.
+func RegisterRuntimeCollector(r *Registry) {
+	r.RegisterCollector(func(emit func(GaugeValue)) {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		emit(GaugeValue{Name: "runtime_goroutines", Help: "live goroutines", Value: float64(runtime.NumGoroutine())})
+		emit(GaugeValue{Name: "runtime_heap_alloc_bytes", Help: "bytes of allocated heap objects", Value: float64(ms.HeapAlloc)})
+		emit(GaugeValue{Name: "runtime_heap_objects", Help: "live heap objects", Value: float64(ms.HeapObjects)})
+		emit(GaugeValue{Name: "runtime_sys_bytes", Help: "bytes obtained from the OS", Value: float64(ms.Sys)})
+		emit(GaugeValue{Name: "runtime_gc_pause_total_seconds", Help: "cumulative stop-the-world GC pause time", Value: float64(ms.PauseTotalNs) / 1e9})
+		emit(GaugeValue{Name: "runtime_gc_cycles", Help: "completed GC cycles", Value: float64(ms.NumGC)})
+		emit(GaugeValue{Name: "runtime_next_gc_bytes", Help: "heap size target of the next GC cycle", Value: float64(ms.NextGC)})
+	})
+}
+
+var runtimeMetricsOnce sync.Once
+
+// EnableRuntimeMetrics registers the runtime collector into the
+// process-wide registry, once. The server calls this at construction so
+// pure CLI builds never pay for (or expose) runtime gauges.
+func EnableRuntimeMetrics() {
+	runtimeMetricsOnce.Do(func() { RegisterRuntimeCollector(defaultRegistry) })
+}

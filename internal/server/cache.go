@@ -88,6 +88,14 @@ func (c *Cache) Put(v, k int32, val []community.Ref) {
 	}
 }
 
+// Cap returns the cache capacity in entries (0 when caching is disabled).
+func (c *Cache) Cap() int {
+	if c == nil {
+		return 0
+	}
+	return c.cap
+}
+
 // Len returns the number of cached entries.
 func (c *Cache) Len() int {
 	if c == nil {

@@ -1,0 +1,72 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+
+	"equitruss/internal/obs"
+)
+
+// debugRequestsDoc is the GET /debug/requests response: the most recent
+// slow/errored traces first (the ones an operator is hunting), then the
+// rolling sample of ordinary requests, plus the tracker settings needed to
+// interpret them.
+type debugRequestsDoc struct {
+	SampleN       int             `json:"sample_n"`
+	SlowThreshold int64           `json:"slow_threshold_ns"`
+	Slow          []*obs.ReqTrace `json:"slow"`
+	Recent        []*obs.ReqTrace `json:"recent"`
+}
+
+// handleDebugRequests serves the retained request traces.
+//
+//	GET /debug/requests            both rings as JSON (newest first)
+//	GET /debug/requests?n=10       at most 10 traces per ring
+//	GET /debug/requests?id=7       one trace by request ID, as JSON
+//	GET /debug/requests?id=7&format=chrome
+//	                               that trace as Chrome trace-event JSON
+//	                               (load in chrome://tracing or Perfetto)
+func (s *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	q := r.URL.Query()
+	if idStr := q.Get("id"); idStr != "" {
+		id, err := strconv.ParseUint(idStr, 10, 64)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, "bad id: %v", err)
+			return
+		}
+		t := s.reqs.Find(id)
+		if t == nil {
+			s.fail(w, http.StatusNotFound, "%s not retained (evicted or never sampled)", obs.FormatReqID(id))
+			return
+		}
+		if q.Get("format") == "chrome" {
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Content-Disposition", "attachment; filename="+obs.FormatReqID(id)+".trace.json")
+			if err := obs.WriteReqChromeTrace(w, t); err != nil {
+				cRequestErrors.Inc()
+			}
+			return
+		}
+		writeJSON(w, http.StatusOK, t)
+		return
+	}
+	max := 0
+	if nStr := q.Get("n"); nStr != "" {
+		n, err := strconv.Atoi(nStr)
+		if err != nil || n < 0 {
+			s.fail(w, http.StatusBadRequest, "bad n: %q", nStr)
+			return
+		}
+		max = n
+	}
+	writeJSON(w, http.StatusOK, debugRequestsDoc{
+		SampleN:       s.reqs.SampleN(),
+		SlowThreshold: int64(s.reqs.SlowThreshold()),
+		Slow:          s.reqs.Slow(max),
+		Recent:        s.reqs.Recent(max),
+	})
+}

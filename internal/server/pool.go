@@ -40,6 +40,10 @@ func NewPool(workers int) *Pool {
 // Cap returns the pool's slot count.
 func (p *Pool) Cap() int { return cap(p.slots) }
 
+// InUse returns the number of slots currently reserved — the pool
+// occupancy gauge /metrics exposes.
+func (p *Pool) InUse() int { return len(p.slots) }
+
 // Reserve blocks until at least one slot is free (or ctx ends), then
 // greedily takes up to want slots without further blocking and returns the
 // number taken (>= 1). A caller never blocks while holding slots, so

@@ -26,15 +26,18 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"strconv"
 	"time"
 
+	"equitruss/internal/buildinfo"
 	"equitruss/internal/community"
 	"equitruss/internal/core"
 	"equitruss/internal/faults"
 	"equitruss/internal/obs"
+	olog "equitruss/internal/obs/log"
 )
 
 var (
@@ -56,6 +59,17 @@ var (
 		"handler panics converted to 500 responses by the recovery middleware")
 	cLatencyNS = obs.GetCounter("server_request_latency_ns",
 		"cumulative wall nanoseconds spent serving /community and /batch requests")
+)
+
+// Per-endpoint latency histograms: lock-free log2 buckets feeding the
+// /metrics histogram families and their p50/p90/p99/p999 quantile digests.
+var (
+	hCommunity = obs.GetHistogram("server_community_request",
+		"GET /community request latency")
+	hBatch = obs.GetHistogram("server_batch_request",
+		"POST /batch request latency")
+	hMembership = obs.GetHistogram("server_membership_request",
+		"GET /membership request latency")
 )
 
 // siteQuery is the fault-injection site on the query compute path; the
@@ -87,6 +101,23 @@ type Config struct {
 	// request (items = queries answered). Spans accumulate unbounded, so
 	// tracing is for diagnostic runs, not steady-state serving.
 	Tracer *obs.Trace
+	// SampleN records a full stage trace (parse → pool wait → cache →
+	// hierarchy query → encode) for one in every SampleN requests. 0 selects
+	// the default (64), 1 traces every request, negative disables sampling.
+	SampleN int
+	// SlowThreshold is the latency at or above which a request is retained
+	// in the /debug/requests slow ring even when unsampled. 0 selects the
+	// default (250ms), negative disables slow capture.
+	SlowThreshold time.Duration
+	// DebugRing is the capacity of each /debug/requests trace ring; 0
+	// selects the default (64).
+	DebugRing int
+	// Logger receives one structured record per request (request_id,
+	// vertex, k, status, duration, cache_hit). Nil selects the process-wide
+	// olog logger. OK requests log at Debug; slow ones at Warn; 5xx at
+	// Error — so an Info-level production logger stays quiet until
+	// something is wrong.
+	Logger *slog.Logger
 }
 
 const (
@@ -101,6 +132,8 @@ type Server struct {
 	cache      *Cache
 	pool       *Pool
 	tr         *obs.Trace
+	reqs       *obs.ReqTracker
+	log        *slog.Logger
 	maxBatch   int
 	reqTimeout time.Duration
 	inflight   chan struct{} // admission semaphore; nil = unlimited
@@ -122,14 +155,25 @@ func New(idx *community.Index, cfg Config) *Server {
 	if maxBatch <= 0 {
 		maxBatch = defaultMaxBatch
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = olog.L()
+	}
 	s := &Server{
-		idx:        idx,
-		cache:      NewCache(cacheSize),
-		pool:       NewPool(cfg.Workers),
-		tr:         cfg.Tracer,
+		idx:   idx,
+		cache: NewCache(cacheSize),
+		pool:  NewPool(cfg.Workers),
+		tr:    cfg.Tracer,
+		reqs: obs.NewReqTracker(obs.ReqConfig{
+			SampleN:       cfg.SampleN,
+			SlowThreshold: cfg.SlowThreshold,
+			RingSize:      cfg.DebugRing,
+		}),
+		log:        logger,
 		maxBatch:   maxBatch,
 		reqTimeout: cfg.RequestTimeout,
 	}
+	obs.EnableRuntimeMetrics()
 	if cfg.MaxInFlight >= 0 {
 		n := cfg.MaxInFlight
 		if n == 0 {
@@ -143,6 +187,9 @@ func New(idx *community.Index, cfg Config) *Server {
 	s.mux.HandleFunc("/membership", s.limited(s.handleMembership))
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	// Diagnostics stay reachable under overload: like /healthz and
+	// /metrics, /debug/requests bypasses the admission limiter.
+	s.mux.HandleFunc("/debug/requests", s.handleDebugRequests)
 	s.handler = s.recovered(s.mux)
 	// Build the hierarchy before accepting traffic so the first query pays
 	// no lazy-build latency spike.
@@ -280,12 +327,19 @@ func renderQuery(v, k int32, refs []community.Ref, cached, withVertices, withEdg
 }
 
 // lookup answers one query through the cache, computing (and caching) on a
-// miss under a reserved pool slot. k must already be normalized.
+// miss under a reserved pool slot. k must already be normalized. When ctx
+// carries a sampled request, the cache probe, pool wait, and hierarchy
+// query each record a stage in its trace.
 func (s *Server) lookup(ctx context.Context, v, k int32) ([]community.Ref, bool, error) {
-	if refs, ok := s.cache.Get(v, k); ok {
+	st := obs.StartStageFromContext(ctx, "cache lookup")
+	refs, ok := s.cache.Get(v, k)
+	st.End()
+	if ok {
 		return refs, true, nil
 	}
+	st = obs.StartStageFromContext(ctx, "pool wait")
 	got, err := s.pool.Reserve(ctx, 1)
+	st.End()
 	if err != nil {
 		return nil, false, err
 	}
@@ -296,9 +350,44 @@ func (s *Server) lookup(ctx context.Context, v, k int32) ([]community.Ref, bool,
 	if err := faults.Inject(siteQuery); err != nil {
 		return nil, false, err
 	}
-	refs := s.idx.CommunityRefs(v, k)
+	refs = s.idx.CommunityRefsCtx(ctx, v, k)
 	s.cache.Put(v, k, refs)
 	return refs, false, nil
+}
+
+// logReq emits the one structured record every tracked request produces,
+// keyed by the same "req-<n>" ID /debug/requests reports. Severity scales
+// with outcome: Debug for OK, Warn for 4xx or slow, Error for 5xx — and
+// the Enabled check keeps disabled levels free of attribute construction.
+func (s *Server) logReq(rq obs.Req, name string, status int, dur time.Duration, info obs.ReqInfo) {
+	level := slog.LevelDebug
+	if slow := s.reqs.SlowThreshold(); slow > 0 && dur >= slow {
+		level = slog.LevelWarn
+	}
+	switch {
+	case status >= 500:
+		level = slog.LevelError
+	case status >= 400:
+		level = slog.LevelWarn
+	}
+	if !s.log.Enabled(context.Background(), level) {
+		return
+	}
+	attrs := []slog.Attr{
+		olog.ReqID(rq.IDString()),
+		olog.Status(status),
+		olog.Duration(dur),
+		olog.Vertex(info.Vertex),
+		olog.K(info.K),
+		olog.CacheHit(info.CacheHit),
+	}
+	if info.Items > 0 {
+		attrs = append(attrs, slog.Int("items", info.Items))
+	}
+	if info.Err != "" {
+		attrs = append(attrs, slog.String("err", info.Err))
+	}
+	s.log.LogAttrs(context.Background(), level, name, attrs...)
 }
 
 func (s *Server) handleCommunity(w http.ResponseWriter, r *http.Request) {
@@ -307,32 +396,50 @@ func (s *Server) handleCommunity(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	span := s.tr.Start("HTTP /community")
-	start := time.Now()
+	rq := s.reqs.Begin("/community")
 	cCommunityRequests.Inc()
-	v, err := parseInt32(r.URL.Query().Get("v"))
-	if err != nil {
-		s.fail(w, http.StatusBadRequest, "bad v: %v", err)
+	status := http.StatusOK
+	var info obs.ReqInfo
+	defer func() {
+		dur := rq.Finish(status, info)
+		hCommunity.Observe(dur)
+		cLatencyNS.Add(dur.Nanoseconds())
+		s.logReq(rq, "GET /community", status, dur, info)
+	}()
+	failf := func(code int, format string, args ...any) {
+		status = code
+		info.Err = fmt.Sprintf(format, args...)
+		s.fail(w, code, "%s", info.Err)
+	}
+	st := rq.StartStage("parse")
+	v, errV := parseInt32(r.URL.Query().Get("v"))
+	k, errK := parseInt32(r.URL.Query().Get("k"))
+	withVertices := r.URL.Query().Get("vertices") != ""
+	withEdges := r.URL.Query().Get("edges") != ""
+	st.End()
+	if errV != nil {
+		failf(http.StatusBadRequest, "bad v: %v", errV)
 		return
 	}
-	k, err := parseInt32(r.URL.Query().Get("k"))
-	if err != nil {
-		s.fail(w, http.StatusBadRequest, "bad k: %v", err)
+	if errK != nil {
+		failf(http.StatusBadRequest, "bad k: %v", errK)
 		return
 	}
 	if v < 0 || v >= s.idx.G.NumVertices() {
-		s.fail(w, http.StatusBadRequest, "vertex %d outside [0, %d)", v, s.idx.G.NumVertices())
+		failf(http.StatusBadRequest, "vertex %d outside [0, %d)", v, s.idx.G.NumVertices())
 		return
 	}
 	k = normalizeK(k)
-	refs, cached, err := s.lookup(r.Context(), v, k)
+	info.Vertex, info.K = v, k
+	refs, cached, err := s.lookup(rq.WithContext(r.Context()), v, k)
 	if err != nil {
-		s.fail(w, http.StatusServiceUnavailable, "query aborted: %v", err)
+		failf(http.StatusServiceUnavailable, "query aborted: %v", err)
 		return
 	}
-	withVertices := r.URL.Query().Get("vertices") != ""
-	withEdges := r.URL.Query().Get("edges") != ""
+	info.CacheHit = cached
+	st = rq.StartStage("encode")
 	writeJSON(w, http.StatusOK, renderQuery(v, k, refs, cached, withVertices, withEdges))
-	cLatencyNS.Add(time.Since(start).Nanoseconds())
+	st.End()
 	span.EndItems(1)
 }
 
@@ -351,27 +458,47 @@ func (s *Server) handleMembership(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	span := s.tr.Start("HTTP /membership")
-	start := time.Now()
+	rq := s.reqs.Begin("/membership")
 	cMembershipRequests.Inc()
+	status := http.StatusOK
+	var info obs.ReqInfo
+	defer func() {
+		dur := rq.Finish(status, info)
+		hMembership.Observe(dur)
+		cLatencyNS.Add(dur.Nanoseconds())
+		s.logReq(rq, "GET /membership", status, dur, info)
+	}()
+	failf := func(code int, format string, args ...any) {
+		status = code
+		info.Err = fmt.Sprintf(format, args...)
+		s.fail(w, code, "%s", info.Err)
+	}
+	st := rq.StartStage("parse")
 	v, err := parseInt32(r.URL.Query().Get("v"))
+	st.End()
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, "bad v: %v", err)
+		failf(http.StatusBadRequest, "bad v: %v", err)
 		return
 	}
 	if v < 0 || v >= s.idx.G.NumVertices() {
-		s.fail(w, http.StatusBadRequest, "vertex %d outside [0, %d)", v, s.idx.G.NumVertices())
+		failf(http.StatusBadRequest, "vertex %d outside [0, %d)", v, s.idx.G.NumVertices())
 		return
 	}
+	info.Vertex = v
 	if err := faults.Inject(siteQuery); err != nil {
-		s.fail(w, http.StatusServiceUnavailable, "query aborted: %v", err)
+		failf(http.StatusServiceUnavailable, "query aborted: %v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, membershipDoc{
+	st = rq.StartStage("hierarchy query")
+	doc := membershipDoc{
 		Vertex:     v,
 		MaxK:       s.idx.MaxK(v),
 		Membership: s.idx.Membership(v),
-	})
-	cLatencyNS.Add(time.Since(start).Nanoseconds())
+	}
+	st.End()
+	st = rq.StartStage("encode")
+	writeJSON(w, http.StatusOK, doc)
+	st.End()
 	span.EndItems(1)
 }
 
@@ -395,25 +522,42 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	span := s.tr.Start("HTTP /batch")
-	start := time.Now()
+	rq := s.reqs.Begin("/batch")
 	cBatchRequests.Inc()
+	status := http.StatusOK
+	var info obs.ReqInfo
+	defer func() {
+		dur := rq.Finish(status, info)
+		hBatch.Observe(dur)
+		cLatencyNS.Add(dur.Nanoseconds())
+		s.logReq(rq, "POST /batch", status, dur, info)
+	}()
+	failf := func(code int, format string, args ...any) {
+		status = code
+		info.Err = fmt.Sprintf(format, args...)
+		s.fail(w, code, "%s", info.Err)
+	}
+	st := rq.StartStage("parse")
 	var req batchRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.fail(w, http.StatusBadRequest, "bad body: %v", err)
+	err := json.NewDecoder(r.Body).Decode(&req)
+	st.End()
+	if err != nil {
+		failf(http.StatusBadRequest, "bad body: %v", err)
 		return
 	}
+	info.Items = len(req.Queries)
 	if len(req.Queries) == 0 {
-		s.fail(w, http.StatusBadRequest, "empty batch")
+		failf(http.StatusBadRequest, "empty batch")
 		return
 	}
 	if len(req.Queries) > s.maxBatch {
-		s.fail(w, http.StatusRequestEntityTooLarge, "batch of %d exceeds limit %d", len(req.Queries), s.maxBatch)
+		failf(http.StatusRequestEntityTooLarge, "batch of %d exceeds limit %d", len(req.Queries), s.maxBatch)
 		return
 	}
 	n := s.idx.G.NumVertices()
 	for i, q := range req.Queries {
 		if q.V < 0 || q.V >= n {
-			s.fail(w, http.StatusBadRequest, "query %d: vertex %d outside [0, %d)", i, q.V, n)
+			failf(http.StatusBadRequest, "query %d: vertex %d outside [0, %d)", i, q.V, n)
 			return
 		}
 	}
@@ -430,6 +574,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var missQ []community.Query
 	slotOf := make(map[int64]int)
 	deduped := int64(0)
+	st = rq.StartStage("cache lookup")
 	for i, q := range req.Queries {
 		k := normalizeK(q.K)
 		norm[i] = k
@@ -450,13 +595,17 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		missIdx = append(missIdx, i)
 		missSlot = append(missSlot, slot)
 	}
+	st.End()
 	if deduped > 0 {
 		cBatchDeduped.Add(deduped)
 	}
 	if len(missQ) > 0 {
-		got, err := s.pool.Reserve(r.Context(), len(missQ))
+		ctx := rq.WithContext(r.Context())
+		st = rq.StartStage("pool wait")
+		got, err := s.pool.Reserve(ctx, len(missQ))
+		st.End()
 		if err != nil {
-			s.fail(w, http.StatusServiceUnavailable, "batch aborted: %v", err)
+			failf(http.StatusServiceUnavailable, "batch aborted: %v", err)
 			return
 		}
 		// Released by defer, not inline: a panic in the fan-out must not
@@ -466,12 +615,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			s.testHook()
 		}
 		if err := faults.Inject(siteQuery); err != nil {
-			s.fail(w, http.StatusServiceUnavailable, "batch aborted: %v", err)
+			failf(http.StatusServiceUnavailable, "batch aborted: %v", err)
 			return
 		}
-		out, err := s.idx.BatchCommunityRefsCtx(r.Context(), missQ, got)
+		out, err := s.idx.BatchCommunityRefsCtx(ctx, missQ, got)
 		if err != nil {
-			s.fail(w, http.StatusServiceUnavailable, "batch aborted: %v", err)
+			failf(http.StatusServiceUnavailable, "batch aborted: %v", err)
 			return
 		}
 		for j, i := range missIdx {
@@ -484,15 +633,17 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for i, q := range req.Queries {
 		resp.Results[i] = renderQuery(q.V, norm[i], results[i], cached[i], req.Vertices, req.Edges)
 	}
+	st = rq.StartStage("encode")
 	writeJSON(w, http.StatusOK, resp)
+	st.End()
 	cBatchQueries.Add(int64(len(req.Queries)))
-	cLatencyNS.Add(time.Since(start).Nanoseconds())
 	span.EndItems(int64(len(req.Queries)))
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":          "ok",
+		"revision":        buildinfo.Revision(),
 		"vertices":        s.idx.G.NumVertices(),
 		"edges":           s.idx.G.NumEdges(),
 		"supernodes":      s.idx.SG.NumSupernodes(),
@@ -501,9 +652,33 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// instanceGauges snapshots this server's own capacity state — pool
+// occupancy, cache fill, admission slots. These live on the Server, not in
+// the shared default registry, so two servers in one process (common in
+// tests) never fight over one gauge.
+func (s *Server) instanceGauges() []obs.GaugeValue {
+	gauges := []obs.GaugeValue{
+		{Name: "server_pool_in_use", Help: "query pool slots currently reserved", Value: float64(s.pool.InUse())},
+		{Name: "server_pool_capacity", Help: "query pool slot capacity", Value: float64(s.pool.Cap())},
+		{Name: "server_cache_entries", Help: "entries held by the community LRU cache", Value: float64(s.cache.Len())},
+		{Name: "server_cache_capacity", Help: "capacity of the community LRU cache", Value: float64(s.cache.Cap())},
+	}
+	if s.inflight != nil {
+		gauges = append(gauges,
+			obs.GaugeValue{Name: "server_inflight", Help: "query requests currently admitted", Value: float64(len(s.inflight))},
+			obs.GaugeValue{Name: "server_inflight_limit", Help: "admission limit on concurrent query requests", Value: float64(cap(s.inflight))},
+		)
+	}
+	return gauges
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	if err := obs.WritePrometheus(w, obs.DefaultRegistry(), s.tr); err != nil {
+	err := obs.WritePrometheus(w, obs.DefaultRegistry(), s.tr)
+	if err == nil {
+		err = obs.WriteGauges(w, s.instanceGauges())
+	}
+	if err != nil {
 		cRequestErrors.Inc()
 	}
 }
