@@ -35,17 +35,18 @@ ci: serversmoke servermetrics chaos
 	fi
 	$(GO) build -ldflags '$(LDFLAGS)' ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/concur ./internal/cc ./internal/triangle ./internal/community ./internal/obs
+	$(GO) test -race ./internal/concur ./internal/cc ./internal/triangle ./internal/truss ./internal/community ./internal/obs
 	$(MAKE) benchcheck
 
-# Perf regression gate: rerun the Support kernel sweep and the query-path
-# workloads and compare each cell's time — normalized within the same run
-# (kernels by merge, query engines by indexed-bfs) so absolute machine speed
-# cancels — against the committed baseline. Fails on a >20% normalized
-# regression. Artifacts land in bench/ (gitignored except the committed
-# baseline + reference artifacts).
+# Perf regression gate: rerun the Support kernel sweep, the query-path
+# workloads, and the peel kernel sweep and compare each cell's time —
+# normalized within the same run (Support kernels by merge, query engines by
+# indexed-bfs, peel kernels by levelsync) so absolute machine speed cancels —
+# against the committed baseline. Fails on a >20% normalized regression, and
+# fails loudly when a baseline row is missing. Artifacts land in bench/
+# (gitignored except the committed baseline + reference artifacts).
 benchcheck:
-	$(GO) run ./cmd/benchsuite -experiment support,query -scale 0.05 -out bench/ -check bench/baseline.json
+	$(GO) run ./cmd/benchsuite -experiment support,query,peel -scale 0.05 -out bench/ -check bench/baseline.json
 
 # Race-enabled server smoke: 64 concurrent clients hammer one handler
 # (httptest) mixing cached singles and pooled batches, answers checked

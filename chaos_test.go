@@ -163,9 +163,27 @@ func TestChaosLegacyAPIsImmuneToBarrierFaults(t *testing.T) {
 			t.Fatalf("Trussness under armed barrier: tau[%d] = %d, want %d", i, tau[i], wantTau[i])
 		}
 	}
-	// Internal legacy wrappers ride the same exclusion.
+	// Internal legacy wrappers ride the same exclusion — including the
+	// scan-free pkt peel kernel and the kernel dispatcher, whose outputs
+	// must stay bit-identical under the armed barrier.
 	triangle.SupportsT(g, 4, nil)
 	truss.DecomposeParallelT(g, wantSup, 4, nil)
+	pktTau, _ := truss.DecomposePKTT(g, wantSup, 4, nil)
+	for i := range wantTau {
+		if pktTau[i] != wantTau[i] {
+			t.Fatalf("DecomposePKTT under armed barrier: tau[%d] = %d, want %d", i, pktTau[i], wantTau[i])
+		}
+	}
+	for _, pk := range []equitruss.PeelKernel{
+		equitruss.PeelAuto, equitruss.PeelSerial, equitruss.PeelLevelSync, equitruss.PeelPKT,
+	} {
+		kTau, _ := truss.DecomposeKernel(g, wantSup, pk, 4)
+		for i := range wantTau {
+			if kTau[i] != wantTau[i] {
+				t.Fatalf("DecomposeKernel(%v) under armed barrier: tau[%d] = %d, want %d", pk, i, kTau[i], wantTau[i])
+			}
+		}
+	}
 	cc.ShiloachVishkin(g, 4)
 	cc.Afforest(g, 4)
 	cc.LabelPropagation(g, 4)

@@ -46,7 +46,8 @@ type experiment struct {
 type config struct {
 	scale   float64         // dataset size factor
 	maxThr  int             // top of the thread sweep
-	kernel  triangle.Kernel // Support kernel for all triangle counting
+	kernel  triangle.Kernel  // Support kernel for all triangle counting
+	peel    truss.PeelKernel // TrussDecomp kernel for all peeling
 	verbose bool
 	sink    *tsvSink       // optional TSV mirror of every table
 	art     *benchArtifact // run artifact; experiments may append rows
@@ -76,8 +77,9 @@ var experiments = []experiment{
 	{"tab4", "Table 4: single-thread comparison incl. Original (serial)", runTab4, false},
 	{"tab5", "Table 5: index sizes and parallel speedups", runTab5, false},
 	{"support", "Support kernel sweep: merge vs gallop vs oriented", runSupport, false},
+	{"peel", "Peel kernel sweep: levelsync vs serial vs pkt", runPeel, false},
 	{"query", "Query path: hierarchy vs indexed-BFS vs DirectCommunities", runQuery, false},
-	{"rmat18", "RMAT scale-18 skewed graph: Support + Decompose (honors -support-kernel)", runRMAT18, true},
+	{"rmat18", "RMAT scale-18 skewed graph: Support + Decompose (honors -support-kernel and -peel-kernel)", runRMAT18, true},
 }
 
 func main() {
@@ -85,6 +87,7 @@ func main() {
 	scale := flag.Float64("scale", 0.25, "dataset size factor (1.0 = paper-surrogate default size)")
 	maxThr := flag.Int("maxthreads", concur.MaxThreads(), "top of the thread sweep")
 	kernelName := flag.String("support-kernel", "auto", "Support kernel: auto|merge|gallop|oriented")
+	peelName := flag.String("peel-kernel", "auto", "TrussDecomp kernel: auto|serial|levelsync|pkt")
 	check := flag.String("check", "", "baseline BENCH_*.json: fail if the Support stage regressed >20% vs it")
 	list := flag.Bool("list", false, "list experiments and exit")
 	verbose := flag.Bool("v", false, "verbose progress")
@@ -102,6 +105,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchsuite: %v\n", err)
 		os.Exit(2)
 	}
+	peel, err := truss.ParsePeelKernel(*peelName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchsuite: %v\n", err)
+		os.Exit(2)
+	}
 	art := &benchArtifact{
 		Timestamp:     time.Now().UTC().Format(time.RFC3339),
 		GitRev:        gitRev(),
@@ -110,13 +118,14 @@ func main() {
 		Scale:         *scale,
 		MaxThreads:    *maxThr,
 		SupportKernel: kernel.String(),
+		PeelKernel:    peel.String(),
 	}
-	cfg := config{scale: *scale, maxThr: *maxThr, kernel: kernel, verbose: *verbose, art: art}
+	cfg := config{scale: *scale, maxThr: *maxThr, kernel: kernel, peel: peel, verbose: *verbose, art: art}
 	if *outDir != "" {
 		cfg.sink = &tsvSink{dir: *outDir}
 	}
-	fmt.Printf("# benchsuite: %d CPUs, GOMAXPROCS=%d, scale=%.2f, kernel=%s, rev=%s\n\n",
-		runtime.NumCPU(), runtime.GOMAXPROCS(0), cfg.scale, kernel, art.GitRev)
+	fmt.Printf("# benchsuite: %d CPUs, GOMAXPROCS=%d, scale=%.2f, kernel=%s, peel=%s, rev=%s\n\n",
+		runtime.NumCPU(), runtime.GOMAXPROCS(0), cfg.scale, kernel, peel, art.GitRev)
 	wanted := map[string]bool{}
 	for _, id := range strings.Split(*expID, ",") {
 		if id = strings.TrimSpace(id); id != "" {
@@ -209,9 +218,11 @@ type benchArtifact struct {
 	Scale         float64            `json:"scale"`
 	MaxThreads    int                `json:"max_threads"`
 	SupportKernel string             `json:"support_kernel"`
+	PeelKernel    string             `json:"peel_kernel,omitempty"`
 	Experiments   []experimentResult `json:"experiments"`
 	SupportBench  []supportRow       `json:"support_bench,omitempty"`
 	QueryBench    []queryRow         `json:"query_bench,omitempty"`
+	PeelBench     []peelRow          `json:"peel_bench,omitempty"`
 	Counters      []obs.CounterValue `json:"counters,omitempty"`
 }
 
@@ -234,6 +245,17 @@ type queryRow struct {
 	Dataset  string  `json:"dataset"`
 	Workload string  `json:"workload"`
 	Engine   string  `json:"engine"`
+	Threads  int     `json:"threads"`
+	Seconds  float64 `json:"seconds"`
+	Checksum uint64  `json:"checksum"`
+}
+
+// peelRow is one timed TrussDecomp-stage measurement: a (dataset, peel
+// kernel) cell of the kernel sweep, with the FNV-1a trussness checksum
+// witnessing that the kernels agreed on the answer.
+type peelRow struct {
+	Dataset  string  `json:"dataset"`
+	Kernel   string  `json:"kernel"`
 	Threads  int     `json:"threads"`
 	Seconds  float64 `json:"seconds"`
 	Checksum uint64  `json:"checksum"`
@@ -312,7 +334,7 @@ func trussness(cfg config, name string, g *graph.Graph) []int32 {
 		return tau
 	}
 	sup := triangle.SupportsKernel(g, cfg.kernel, 0)
-	tau, _ := truss.DecomposeParallel(g, sup, 0)
+	tau, _ := truss.DecomposeKernel(g, sup, cfg.peel, 0)
 	tauCache[key] = tau
 	return tau
 }

@@ -73,21 +73,25 @@ const (
 // committed-artifact producer, run explicitly once per kernel.
 func runRMAT18(cfg config) {
 	g := gen.RMAT(rmat18Scale, rmat18EdgeFactor, 0.57, 0.19, 0.19, rmat18Seed)
-	fmt.Printf("rmat18: %d vertices, %d edges, kernel=%s\n",
-		g.NumVertices(), g.NumEdges(), cfg.kernel)
+	fmt.Printf("rmat18: %d vertices, %d edges, kernel=%s, peel=%s\n",
+		g.NumVertices(), g.NumEdges(), cfg.kernel, cfg.peel)
 	sec, sum := timeSupport(cfg, g, cfg.kernel, cfg.maxThr)
 	sup := triangle.SupportsKernel(g, cfg.kernel, cfg.maxThr)
 	start := time.Now()
-	tau, _ := truss.DecomposeParallel(g, sup, cfg.maxThr)
+	tau, _ := truss.DecomposeKernel(g, sup, cfg.peel, cfg.maxThr)
 	decomp := time.Since(start)
 	cfg.observe(decomp)
 	decompSec := decomp.Seconds()
-	t := newTable("Graph", "Kernel", "Support(s)", "Decompose(s)", "SupSum", "TauSum")
-	t.row("rmat18", cfg.kernel.String(), sec, decompSec, sum, checksumInt32(tau))
+	t := newTable("Graph", "Kernel", "Peel", "Support(s)", "Decompose(s)", "SupSum", "TauSum")
+	t.row("rmat18", cfg.kernel.String(), cfg.peel.String(), sec, decompSec, sum, checksumInt32(tau))
 	if cfg.art != nil {
 		cfg.art.SupportBench = append(cfg.art.SupportBench, supportRow{
 			Dataset: "rmat18", Kernel: cfg.kernel.String(), Threads: cfg.maxThr,
 			Seconds: sec, Checksum: sum,
+		})
+		cfg.art.PeelBench = append(cfg.art.PeelBench, peelRow{
+			Dataset: "rmat18", Kernel: cfg.peel.String(), Threads: cfg.maxThr,
+			Seconds: decompSec, Checksum: checksumInt32(tau),
 		})
 	}
 	emit(cfg.sink, "rmat18", "", t)
@@ -142,13 +146,15 @@ const checkNoiseFloorSec = 0.002
 // stays meaningful on any hardware.
 const checkMargin = 1.20
 
-// checkAgainstBaseline compares the current run's SupportBench and
-// QueryBench rows against a committed baseline artifact. Support rows
-// normalize each kernel's time by the same run's merge time; query rows
-// normalize each engine's time by the same run's indexed-bfs time for that
-// (dataset, workload). Ratios of ratios cancel machine speed, so the
-// committed baseline stays meaningful on any hardware. The check fails if
-// any current ratio regressed more than checkMargin over the baseline's.
+// checkAgainstBaseline compares the current run's SupportBench, QueryBench,
+// and PeelBench rows against a committed baseline artifact. Support rows
+// normalize each kernel's time by the same run's merge time; query rows by
+// the same run's indexed-bfs time for that (dataset, workload); peel rows
+// by the same run's levelsync time. Ratios of ratios cancel machine speed,
+// so the committed baseline stays meaningful on any hardware. The check
+// fails if any current ratio regressed more than checkMargin over the
+// baseline's — and a row the baseline should have but lacks is a loud
+// failure, never a silent pass.
 func checkAgainstBaseline(path string, art *benchArtifact) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -158,8 +164,8 @@ func checkAgainstBaseline(path string, art *benchArtifact) error {
 	if err := json.Unmarshal(raw, &base); err != nil {
 		return fmt.Errorf("parse %s: %w", path, err)
 	}
-	if len(art.SupportBench) == 0 && len(art.QueryBench) == 0 {
-		return fmt.Errorf("current run produced no support_bench or query_bench rows (run -experiment support,query)")
+	if len(art.SupportBench) == 0 && len(art.QueryBench) == 0 && len(art.PeelBench) == 0 {
+		return fmt.Errorf("current run produced no support_bench, query_bench, or peel_bench rows (run -experiment support,query,peel)")
 	}
 	checked := 0
 	if len(art.SupportBench) > 0 {
@@ -174,9 +180,19 @@ func checkAgainstBaseline(path string, art *benchArtifact) error {
 	}
 	if len(art.QueryBench) > 0 {
 		if len(base.QueryBench) == 0 {
-			return fmt.Errorf("baseline %s has no query_bench rows (regenerate it with -experiment support,query)", path)
+			return fmt.Errorf("baseline %s has no query_bench rows (regenerate it with -experiment support,query,peel)", path)
 		}
 		n, err := checkQueryRows(&base, art)
+		if err != nil {
+			return err
+		}
+		checked += n
+	}
+	if len(art.PeelBench) > 0 {
+		if len(base.PeelBench) == 0 {
+			return fmt.Errorf("baseline %s has no peel_bench rows (regenerate it with -experiment support,query,peel)", path)
+		}
+		n, err := checkPeelRows(&base, art)
 		if err != nil {
 			return err
 		}
@@ -198,9 +214,17 @@ func checkSupportRows(base, art *benchArtifact) (int, error) {
 		if row.Kernel == "merge" {
 			continue
 		}
-		bm, okB := baseMerge[row.Dataset]
 		cm, okC := curMerge[row.Dataset]
-		if !okB || !okC || bm < checkNoiseFloorSec || cm < checkNoiseFloorSec {
+		if !okC {
+			return checked, fmt.Errorf("support %s/%s: current run has no merge row to normalize by (run the full support sweep)",
+				row.Dataset, row.Kernel)
+		}
+		bm, okB := baseMerge[row.Dataset]
+		if !okB {
+			return checked, fmt.Errorf("support %s/%s: baseline %s has no merge row for this dataset (regenerate the baseline)",
+				row.Dataset, row.Kernel, base.GitRev)
+		}
+		if bm < checkNoiseFloorSec || cm < checkNoiseFloorSec {
 			continue
 		}
 		var baseSec float64
@@ -212,7 +236,8 @@ func checkSupportRows(base, art *benchArtifact) (int, error) {
 			}
 		}
 		if !found {
-			continue
+			return checked, fmt.Errorf("support %s/%s: no baseline row in %s — the gate cannot pass by omission (regenerate the baseline)",
+				row.Dataset, row.Kernel, base.GitRev)
 		}
 		curRatio := row.Seconds / cm
 		baseRatio := baseSec / bm
@@ -241,9 +266,17 @@ func checkQueryRows(base, art *benchArtifact) (int, error) {
 			continue
 		}
 		key := row.Dataset + "/" + row.Workload
-		br, okB := baseRef[key]
 		cr, okC := curRef[key]
-		if !okB || !okC || br < checkNoiseFloorSec || cr < checkNoiseFloorSec {
+		if !okC {
+			return checked, fmt.Errorf("query %s/%s: current run has no indexed-bfs row to normalize by (run the full query sweep)",
+				key, row.Engine)
+		}
+		br, okB := baseRef[key]
+		if !okB {
+			return checked, fmt.Errorf("query %s/%s: baseline %s has no indexed-bfs row for this workload (regenerate the baseline)",
+				key, row.Engine, base.GitRev)
+		}
+		if br < checkNoiseFloorSec || cr < checkNoiseFloorSec {
 			continue
 		}
 		if row.Seconds < checkNoiseFloorSec {
@@ -257,7 +290,11 @@ func checkQueryRows(base, art *benchArtifact) (int, error) {
 				break
 			}
 		}
-		if !found || baseSec < checkNoiseFloorSec {
+		if !found {
+			return checked, fmt.Errorf("query %s/%s: no baseline row in %s — the gate cannot pass by omission (regenerate the baseline)",
+				key, row.Engine, base.GitRev)
+		}
+		if baseSec < checkNoiseFloorSec {
 			continue
 		}
 		curRatio := row.Seconds / cr

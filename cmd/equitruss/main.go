@@ -67,9 +67,9 @@ func main() {
 
 func usage() {
 	fmt.Fprint(os.Stderr, `usage:
-  equitruss build -graph <path|dataset:name[:factor]> [-variant serial|baseline|coptimal|afforest] [-support-kernel auto|merge|gallop|oriented] [-threads N] [-out index.bin]
+  equitruss build -graph <path|dataset:name[:factor]> [-variant serial|baseline|coptimal|afforest] [-support-kernel auto|merge|gallop|oriented] [-peel-kernel auto|serial|levelsync|pkt] [-threads N] [-out index.bin]
   equitruss query -graph <...> (-index index.bin | -variant ...) -vertex V -k K
-  equitruss stats -graph <...> [-variant ...] [-support-kernel ...] [-threads N]
+  equitruss stats -graph <...> [-variant ...] [-support-kernel ...] [-peel-kernel ...] [-threads N]
   equitruss export -graph <...> [-what summary|graph] [-out file.dot]
   equitruss serve -graph <...> [-index index.bin | -variant ...] [-addr :8080] [-cache N] [-workers N] [-maxbatch N] [-drain 10s] [-log-format text|json] [-sample N] [-slow 250ms]
   equitruss version
@@ -122,6 +122,7 @@ func runBuildCtx(ctx context.Context, args []string) error {
 	graphSpec := fs.String("graph", "", "edge-list path or dataset:<name>[:<factor>]")
 	variantName := fs.String("variant", "afforest", "serial|baseline|coptimal|afforest")
 	kernelName := fs.String("support-kernel", "auto", "Support kernel: auto|merge|gallop|oriented")
+	peelName := fs.String("peel-kernel", "auto", "TrussDecomp kernel: auto|serial|levelsync|pkt")
 	threads := fs.Int("threads", 0, "threads (0 = all cores)")
 	out := fs.String("out", "", "write binary index to this path")
 	obsf := addObsFlags(fs)
@@ -137,6 +138,10 @@ func runBuildCtx(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
+	peel, err := equitruss.ParsePeelKernel(*peelName)
+	if err != nil {
+		return err
+	}
 	g, err := loadGraph(*graphSpec)
 	if err != nil {
 		return err
@@ -147,7 +152,7 @@ func runBuildCtx(ctx context.Context, args []string) error {
 		return err
 	}
 	sg, tm, err := equitruss.BuildSummary(g, equitruss.Options{
-		Variant: variant, Threads: *threads, SupportKernel: kernel, Tracer: tr, Context: ctx,
+		Variant: variant, Threads: *threads, SupportKernel: kernel, PeelKernel: peel, Tracer: tr, Context: ctx,
 	})
 	if err != nil {
 		if ctx.Err() != nil {
@@ -241,6 +246,7 @@ func runStats(args []string) error {
 	graphSpec := fs.String("graph", "", "edge-list path or dataset:<name>[:<factor>]")
 	variantName := fs.String("variant", "afforest", "variant")
 	kernelName := fs.String("support-kernel", "auto", "Support kernel: auto|merge|gallop|oriented")
+	peelName := fs.String("peel-kernel", "auto", "TrussDecomp kernel: auto|serial|levelsync|pkt")
 	threads := fs.Int("threads", 0, "threads (0 = all cores)")
 	jsonOut := fs.Bool("json", false, "emit one machine-readable JSON document instead of text")
 	obsf := addObsFlags(fs)
@@ -256,6 +262,10 @@ func runStats(args []string) error {
 	if err != nil {
 		return err
 	}
+	peel, err := equitruss.ParsePeelKernel(*peelName)
+	if err != nil {
+		return err
+	}
 	g, err := loadGraph(*graphSpec)
 	if err != nil {
 		return err
@@ -266,7 +276,7 @@ func runStats(args []string) error {
 	}
 	// The full pipeline runs once; Trussness is not called separately so the
 	// counters and spans describe exactly one build.
-	sg, tm, err := equitruss.BuildSummary(g, equitruss.Options{Variant: variant, Threads: *threads, SupportKernel: kernel, Tracer: tr})
+	sg, tm, err := equitruss.BuildSummary(g, equitruss.Options{Variant: variant, Threads: *threads, SupportKernel: kernel, PeelKernel: peel, Tracer: tr})
 	if err != nil {
 		return err
 	}

@@ -90,6 +90,26 @@ const (
 // (auto|merge|gallop|oriented).
 func ParseSupportKernel(s string) (SupportKernel, error) { return triangle.ParseKernel(s) }
 
+// PeelKernel selects the TrussDecomp-stage (k-truss peeling) implementation.
+// All kernels produce bit-identical trussness; they differ in how frontier
+// discovery and triangle updates are scheduled.
+type PeelKernel = truss.PeelKernel
+
+// The peeling kernels. The zero value PeelAuto — the default — picks per
+// instance from the edge count and the peel-level spread: serial for small
+// graphs, the scan-free pkt kernel when per-level rescans would dominate,
+// level-synchronous otherwise (see docs/ALGORITHMS.md, "Peeling kernels").
+const (
+	PeelAuto      = truss.PeelAuto      // per-instance size/spread heuristic
+	PeelSerial    = truss.PeelSerial    // sequential bucket-queue peeling
+	PeelLevelSync = truss.PeelLevelSync // level-synchronous, frontier by full-edge rescan
+	PeelPKT       = truss.PeelPKT       // scan-free frontiers + lazy adjacency compaction
+)
+
+// ParsePeelKernel parses a -peel-kernel flag value
+// (auto|serial|levelsync|pkt).
+func ParsePeelKernel(s string) (PeelKernel, error) { return truss.ParsePeelKernel(s) }
+
 // Tracer collects pipeline and per-thread spans during a build. A nil
 // *Tracer disables tracing at zero cost — the instrumented kernels never
 // read the clock or allocate. Pass one via Options.Tracer, then export with
@@ -120,6 +140,12 @@ type Options struct {
 	// galloping on moderately skewed ones, plain merge otherwise. All
 	// kernels produce bit-identical supports.
 	SupportKernel SupportKernel
+	// PeelKernel selects the TrussDecomp-stage kernel. The zero value is
+	// PeelAuto: serial for small graphs, scan-free pkt when the
+	// level-synchronous kernel's per-level rescans would dominate,
+	// levelsync otherwise. All kernels produce bit-identical trussness.
+	// The Serial variant and SerialTruss force the serial kernel.
+	PeelKernel PeelKernel
 	// Tracer, when non-nil, records one pipeline span per kernel and
 	// per-thread spans inside every parallel kernel. Nil disables tracing
 	// with no overhead.
@@ -231,16 +257,18 @@ func SupportsWithKernel(g *Graph, k SupportKernel, threads int) []int32 {
 	return triangle.SupportsKernel(g, k, threads)
 }
 
-// Trussness runs support computation and k-truss decomposition, returning
-// τ(e) for every edge ID (Definition 4). threads <= 0 uses all cores;
-// threads == 1 selects the sequential peeling algorithm.
+// Trussness runs support computation and k-truss decomposition with the
+// auto-selected kernels, returning τ(e) for every edge ID (Definition 4).
+// threads <= 0 uses all cores. Use TrussnessWithKernels to force kernels.
 func Trussness(g *Graph, threads int) []int32 {
-	sup := triangle.SupportsKernel(g, triangle.KernelAuto, threads)
-	if threads == 1 {
-		tau, _ := truss.DecomposeSerial(g, sup)
-		return tau
-	}
-	tau, _ := truss.DecomposeParallel(g, sup, threads)
+	return TrussnessWithKernels(g, KernelAuto, PeelAuto, threads)
+}
+
+// TrussnessWithKernels is Trussness with explicit Support and TrussDecomp
+// kernel selections (the auto values resolve per instance).
+func TrussnessWithKernels(g *Graph, sk SupportKernel, pk PeelKernel, threads int) []int32 {
+	sup := triangle.SupportsKernel(g, sk, threads)
+	tau, _ := truss.DecomposeKernel(g, sup, pk, threads)
 	return tau
 }
 
@@ -319,12 +347,11 @@ func buildSummary(g *Graph, opt Options) (*SummaryGraph, Timings, error) {
 
 	span = tr.Start("TrussDecomp")
 	start = time.Now()
-	var tau []int32
-	if opt.Variant == Serial || opt.SerialTruss || threads == 1 {
-		tau, _, err = truss.DecomposeSerialCtx(ctx, g, sup)
-	} else {
-		tau, _, err = truss.DecomposeParallelCtx(ctx, g, sup, threads, tr)
+	peel := opt.PeelKernel
+	if opt.Variant == Serial || opt.SerialTruss {
+		peel = truss.PeelSerial
 	}
+	tau, _, err := truss.DecomposeKernelCtx(ctx, g, sup, peel, threads, tr)
 	trussTime := time.Since(start)
 	span.End()
 	if err != nil {

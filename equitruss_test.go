@@ -263,7 +263,9 @@ func TestTracedBuildEmitsSpans(t *testing.T) {
 		t.Fatal(err)
 	}
 	tr := equitruss.NewTracer()
-	idx, err := equitruss.BuildIndex(g, equitruss.Options{Variant: equitruss.Afforest, Threads: 4, Tracer: tr})
+	// Pin a parallel peel kernel so TrussDecomp emits per-thread spans even
+	// on a graph small enough for auto to pick the serial bucket queue.
+	idx, err := equitruss.BuildIndex(g, equitruss.Options{Variant: equitruss.Afforest, Threads: 4, Tracer: tr, PeelKernel: equitruss.PeelPKT})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -353,7 +355,11 @@ func TestCountersAccumulate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := equitruss.BuildIndex(g, equitruss.Options{Variant: equitruss.Afforest, Threads: 2}); err != nil {
+	// Pin the level-synchronous peel kernel: auto may resolve to the serial
+	// bucket queue on a graph this small, which runs none of the parallel
+	// peel counters this test pins.
+	opt := equitruss.Options{Variant: equitruss.Afforest, Threads: 2, PeelKernel: equitruss.PeelLevelSync}
+	if _, err := equitruss.BuildIndex(g, opt); err != nil {
 		t.Fatal(err)
 	}
 	vals := map[string]int64{}

@@ -11,9 +11,13 @@ import (
 	"equitruss/internal/obs"
 )
 
-// Counters emitted by the parallel peeling: levels and sub-rounds expose
-// how level-synchronous the instance is, decrements count the triangle-
-// destruction work, captures count frontier admissions.
+// Counters emitted by the parallel peeling kernels: levels and sub-rounds
+// expose how level-synchronous the instance is, decrements count the
+// triangle-destruction work, and captures count transition admissions into
+// a frontier. Together with truss_peel_seed_admissions (level-start
+// admissions, see pkt.go), every edge is admitted exactly once:
+// seeds + captures == m for a full decomposition — the invariant that
+// makes the counters trustworthy and is pinned by tests.
 var (
 	cPeelLevels = obs.GetCounter("truss_peel_levels",
 		"support levels processed by the parallel peeling decomposition")
@@ -178,6 +182,13 @@ func decCapture(sup []int32, e, level int32, next []int32, decs *int64) []int32 
 // per-thread buffers. It also returns the minimum support among the alive
 // edges left out of the frontier (math.MaxInt32 when none remain) so the
 // caller can jump over empty levels without another scan.
+//
+// Admission accounting: the scan counts each collected edge once into
+// truss_peel_seed_admissions. An edge already captured into a frontier by
+// a support transition in a prior sub-round of the same level is deleted
+// (or in-frontier) by the time the next level's scan runs, so a collected
+// edge can never also have been counted as a capture — seeds and captures
+// partition the edge set.
 func collectFrontier(ctx context.Context, sup []int32, deleted *ds.Bitset, level int32, threads int, tr *obs.Trace) ([]int32, int32, error) {
 	m := len(sup)
 	bufs := make([][]int32, threads)
@@ -211,5 +222,6 @@ func collectFrontier(ctx context.Context, sup []int32, deleted *ds.Bitset, level
 			minAlive = mins[t]
 		}
 	}
+	cPeelSeeds.Add(int64(len(out)))
 	return out, minAlive, nil
 }

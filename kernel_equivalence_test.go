@@ -2,9 +2,11 @@ package equitruss_test
 
 import (
 	"fmt"
+	"hash/fnv"
 	"testing"
 
 	"equitruss"
+	"equitruss/internal/gen"
 )
 
 // TestBuildSummaryKernelEquivalence: the Support kernel is an
@@ -38,6 +40,61 @@ func TestBuildSummaryKernelEquivalence(t *testing.T) {
 			}
 			if sg.Canonical(g) != canon {
 				t.Fatal("summary graph differs from the merge-kernel reference")
+			}
+		})
+	}
+}
+
+// tauChecksum hashes a trussness array plus its kmax into one FNV-1a word,
+// so whole-array equality across kernels collapses to one comparison.
+func tauChecksum(tau []int32) uint64 {
+	h := fnv.New64a()
+	var kmax int32
+	var b [4]byte
+	for _, v := range tau {
+		if v > kmax {
+			kmax = v
+		}
+		b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+		h.Write(b[:])
+	}
+	b[0], b[1], b[2], b[3] = byte(kmax), byte(kmax>>8), byte(kmax>>16), byte(kmax>>24)
+	h.Write(b[:])
+	return h.Sum64()
+}
+
+// TestKernelMatrixEquivalence crosses every Support kernel with every peel
+// kernel on RMAT plus all dataset surrogates: the τ/kmax FNV checksum must
+// be identical across the whole matrix — kernels are implementation
+// details, never answers.
+func TestKernelMatrixEquivalence(t *testing.T) {
+	supportKernels := []equitruss.SupportKernel{
+		equitruss.KernelAuto, equitruss.KernelMerge, equitruss.KernelGalloping, equitruss.KernelOriented,
+	}
+	peelKernels := []equitruss.PeelKernel{
+		equitruss.PeelAuto, equitruss.PeelSerial, equitruss.PeelLevelSync, equitruss.PeelPKT,
+	}
+	graphs := map[string]*equitruss.Graph{
+		"rmat-12": equitruss.GenerateRMAT(12, 8, 42),
+	}
+	for _, spec := range gen.Datasets {
+		g, err := equitruss.GenerateDataset(spec.Name, 0.02)
+		if err != nil {
+			t.Fatal(err)
+		}
+		graphs[spec.Name] = g
+	}
+	for name, g := range graphs {
+		t.Run(name, func(t *testing.T) {
+			want := tauChecksum(equitruss.TrussnessWithKernels(g, equitruss.KernelMerge, equitruss.PeelSerial, 1))
+			for _, sk := range supportKernels {
+				for _, pk := range peelKernels {
+					got := tauChecksum(equitruss.TrussnessWithKernels(g, sk, pk, 4))
+					if got != want {
+						t.Fatalf("support=%v peel=%v: τ checksum %016x, want %016x (m=%d)",
+							sk, pk, got, want, g.NumEdges())
+					}
+				}
 			}
 		})
 	}
