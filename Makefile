@@ -8,7 +8,7 @@ GO ?= go
 REV ?= $(shell git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)
 LDFLAGS := -X equitruss/internal/buildinfo.revision=$(REV)
 
-.PHONY: all build test race bench benchcheck repro examples ci serversmoke servermetrics chaos clean
+.PHONY: all build test race bench benchcheck repro examples ci serversmoke servermetrics chaos crashsafe clean
 
 all: build test
 
@@ -25,7 +25,7 @@ race:
 # scanner is installed), build, full tests, the race-detector subset
 # covering the shared-state hot spots (schedulers, connected components,
 # the query server), and the chaos suite.
-ci: serversmoke servermetrics chaos
+ci: serversmoke servermetrics chaos crashsafe
 	$(GO) vet ./...
 	@if command -v govulncheck >/dev/null 2>&1; then \
 		govulncheck ./...; \
@@ -68,6 +68,16 @@ servermetrics:
 chaos:
 	$(GO) test -race -run 'TestChaos' .
 	$(GO) test -race ./internal/faults ./internal/server ./internal/graphio
+
+# Crash-recovery drill, race-enabled: builds the real binary, streams
+# durable /update batches at a live server, SIGKILLs it mid-stream,
+# restarts over the same state directory, and differential-verifies the
+# recovered state (canonical checksums from /healthz) against an
+# independent in-process rebuild of the acked update prefix. Also runs the
+# in-process durability suite (recovery, compaction, WAL poisoning).
+crashsafe:
+	EQUITRUSS_CRASHSAFE=1 $(GO) test -race -run 'TestCrashSafeKillMidStream|TestLive' .
+	$(GO) test -race ./internal/wal ./internal/dynamic
 
 # One benchmark per paper table/figure plus ablations (bench_test.go).
 bench:

@@ -25,7 +25,7 @@ func runServe(args []string) error {
 		olog.L().Info("serving community queries",
 			slog.String("addr", addr.String()),
 			slog.String("url", "http://"+addr.String()),
-			slog.String("endpoints", "/community /batch /membership /healthz /metrics /debug/requests"))
+			slog.String("endpoints", "/community /batch /membership /update /healthz /readyz /metrics /debug/requests"))
 	})
 }
 
@@ -50,6 +50,12 @@ func runServeCtx(ctx context.Context, args []string, onListen func(net.Addr)) er
 	sampleN := fs.Int("sample", 0, "stage-trace one in every N requests for /debug/requests (0 = default 64, 1 = all, negative disables)")
 	slowThresh := fs.Duration("slow", 0, "retain requests at least this slow in /debug/requests (0 = default 250ms, negative disables)")
 	debugRing := fs.Int("debug-ring", 0, "traces retained per /debug/requests ring (0 = default 64)")
+	walDir := fs.String("wal", "", "state directory enabling durable POST /update (snapshot + write-ahead log; recovered on startup)")
+	walSync := fs.String("wal-sync", "always", "WAL fsync policy: always|interval|never")
+	walSyncInterval := fs.Duration("wal-sync-interval", 0, "group-fsync period under -wal-sync=interval (0 = default 100ms)")
+	updateQueue := fs.Int("update-queue", 0, "acked-but-unapplied update batches before shedding with 429 (0 = default 64)")
+	maxUpdateBatch := fs.Int("max-update-batch", 0, "max edge ops per /update request (0 = default 10000)")
+	compactEvery := fs.Int("compact-every", 0, "applied update batches between snapshot+truncate compactions (0 = default 64)")
 	fs.Parse(args)
 	// Validate the whole flag set up front, before the expensive graph load
 	// and before binding the listener: a typo'd index path or address should
@@ -79,6 +85,9 @@ func runServeCtx(ctx context.Context, args []string, onListen func(net.Addr)) er
 		if variantSet {
 			return fmt.Errorf("-index and -variant are mutually exclusive: a loaded index fixes the construction variant")
 		}
+		if *walDir != "" {
+			return fmt.Errorf("-index and -wal are mutually exclusive: live updates rebuild the index from recovered state")
+		}
 		info, err := os.Stat(*indexPath)
 		if err != nil {
 			return fmt.Errorf("index file: %w", err)
@@ -91,6 +100,9 @@ func runServeCtx(ctx context.Context, args []string, onListen func(net.Addr)) er
 	if err != nil {
 		return err
 	}
+	if _, err := equitruss.ParseWALSyncPolicy(*walSync); err != nil {
+		return fmt.Errorf("bad -wal-sync %q (want always|interval|never)", *walSync)
+	}
 	g, err := loadGraph(*graphSpec)
 	if err != nil {
 		return err
@@ -100,6 +112,50 @@ func runServeCtx(ctx context.Context, args []string, onListen func(net.Addr)) er
 		slog.Int64("vertices", int64(g.NumVertices())),
 		slog.Int64("edges", int64(g.NumEdges())),
 		slog.String("revision", buildinfo.Revision()))
+	var tr *equitruss.Tracer
+	if *trace {
+		tr = equitruss.NewTracer()
+	}
+	opts := equitruss.ServeOptions{
+		Addr:           *addr,
+		CacheSize:      *cacheSize,
+		Workers:        *workers,
+		MaxBatch:       *maxBatch,
+		MaxInFlight:    *maxInFlight,
+		RequestTimeout: *reqTimeout,
+		DrainTimeout:   *drain,
+		Tracer:         tr,
+		TraceSampleN:   *sampleN,
+		SlowThreshold:  *slowThresh,
+		DebugRing:      *debugRing,
+		Logger:         log,
+		OnListen:       onListen,
+	}
+	if *walDir != "" {
+		// Durable live serving: recover snapshot + WAL over the base graph,
+		// then serve with the update pipeline attached.
+		li, err := equitruss.OpenLive(ctx, g, equitruss.LiveOptions{
+			Dir:              *walDir,
+			SyncPolicy:       *walSync,
+			SyncInterval:     *walSyncInterval,
+			Variant:          variant,
+			Threads:          *threads,
+			UpdateQueueDepth: *updateQueue,
+			MaxUpdateBatch:   *maxUpdateBatch,
+			CompactEvery:     *compactEvery,
+			Logger:           log,
+		})
+		if err != nil {
+			return err
+		}
+		defer li.Close()
+		log.Info("live state recovered",
+			slog.String("dir", *walDir),
+			slog.Uint64("seq", li.Seq),
+			slog.Int64("edges", li.Index.G.NumEdges()),
+			slog.String("wal_sync", *walSync))
+		return equitruss.ServeLive(ctx, li, opts)
+	}
 	var idx *equitruss.Index
 	if *indexPath != "" {
 		idx, err = equitruss.LoadIndexFile(*indexPath, g)
@@ -119,25 +175,7 @@ func runServeCtx(ctx context.Context, args []string, onListen func(net.Addr)) er
 	log.Info("index ready",
 		slog.Int64("supernodes", int64(idx.SG.NumSupernodes())),
 		slog.Int64("superedges", int64(idx.SG.NumSuperedges())))
-	var tr *equitruss.Tracer
-	if *trace {
-		tr = equitruss.NewTracer()
-	}
-	return equitruss.Serve(ctx, idx, equitruss.ServeOptions{
-		Addr:           *addr,
-		CacheSize:      *cacheSize,
-		Workers:        *workers,
-		MaxBatch:       *maxBatch,
-		MaxInFlight:    *maxInFlight,
-		RequestTimeout: *reqTimeout,
-		DrainTimeout:   *drain,
-		Tracer:         tr,
-		TraceSampleN:   *sampleN,
-		SlowThreshold:  *slowThresh,
-		DebugRing:      *debugRing,
-		Logger:         log,
-		OnListen:       onListen,
-	})
+	return equitruss.Serve(ctx, idx, opts)
 }
 
 // parseLogLevel maps a -log-level flag value onto a slog.Level.

@@ -1,0 +1,149 @@
+package community
+
+import (
+	"sort"
+
+	"equitruss/internal/core"
+)
+
+// Checksums fingerprints the three layers of a query-ready index. The
+// values are canonical: they depend only on the graph's edge set, the
+// trussness function, the supernode partition, and the superedge relation
+// — never on the dense IDs a particular construction variant or thread
+// count happened to assign. Two indexes over the same logical state (one
+// recovered from a snapshot + WAL replay, one built from scratch over the
+// same edge stream) therefore produce identical checksums, which is the
+// bit-identity test behind the crash-recovery differential.
+type Checksums struct {
+	// Tau covers the per-edge trussness in canonical edge order.
+	Tau uint64 `json:"tau"`
+	// Summary covers the supernode partition (each supernode named by its
+	// smallest member edge), per-supernode trussness, and the superedge
+	// relation over those canonical names.
+	Summary uint64 `json:"summary"`
+	// Hierarchy covers the merge forest: every node's level, canonical
+	// name (smallest member edge), member-edge and vertex counts, and its
+	// parent's canonical identity.
+	Hierarchy uint64 `json:"hierarchy"`
+}
+
+// FNV-1a 64-bit folding.
+const (
+	fnvOffset = uint64(14695981039346656037)
+	fnvPrime  = uint64(1099511628211)
+)
+
+func fold(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= (v >> (8 * i)) & 0xFF
+		h *= fnvPrime
+	}
+	return h
+}
+
+func fold32(h uint64, v int32) uint64 { return fold(h, uint64(uint32(v))) }
+
+// Checksums computes the canonical fingerprints. The hierarchy is built
+// (once, lazily) if it does not exist yet.
+func (idx *Index) Checksums() Checksums {
+	sg := idx.SG
+	var cs Checksums
+
+	// τ layer: edge IDs are canonical (graphs are built sorted by (U, V)),
+	// so a straight fold is already order-independent of construction.
+	h := fold(fnvOffset, uint64(len(sg.Tau)))
+	for _, t := range sg.Tau {
+		h = fold32(h, t)
+	}
+	cs.Tau = h
+
+	// Summary layer: name each supernode by its smallest member edge.
+	s := sg.NumSupernodes()
+	minRep := make([]int32, s)
+	for sn := int32(0); sn < s; sn++ {
+		rep := int32(-1)
+		for _, e := range sg.SupernodeEdges(sn) {
+			if rep < 0 || e < rep {
+				rep = e
+			}
+		}
+		minRep[sn] = rep
+	}
+	h = fold(fnvOffset, uint64(s))
+	// Per-edge membership under canonical names, in canonical edge order.
+	for _, sn := range sg.EdgeToSN {
+		if sn == core.NoSupernode {
+			h = fold32(h, -1)
+		} else {
+			h = fold32(h, minRep[sn])
+		}
+	}
+	// Per-supernode trussness, sorted by canonical name.
+	order := make([]int32, s)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(a, b int) bool { return minRep[order[a]] < minRep[order[b]] })
+	for _, sn := range order {
+		h = fold32(h, minRep[sn])
+		h = fold32(h, sg.K[sn])
+	}
+	// Superedge relation over canonical names, sorted.
+	type pair struct{ a, b int32 }
+	var pairs []pair
+	for sn := int32(0); sn < s; sn++ {
+		for _, nb := range sg.SupernodeNeighbors(sn) {
+			if sn < nb {
+				a, b := minRep[sn], minRep[nb]
+				if a > b {
+					a, b = b, a
+				}
+				pairs = append(pairs, pair{a, b})
+			}
+		}
+	}
+	sort.Slice(pairs, func(x, y int) bool {
+		if pairs[x].a != pairs[y].a {
+			return pairs[x].a < pairs[y].a
+		}
+		return pairs[x].b < pairs[y].b
+	})
+	for _, p := range pairs {
+		h = fold32(h, p.a)
+		h = fold32(h, p.b)
+	}
+	cs.Summary = h
+
+	// Hierarchy layer: a node's canonical identity is (level, smallest
+	// member edge) — unique, since at one level an edge belongs to exactly
+	// one community.
+	hr := idx.Hierarchy()
+	n := int(hr.NumNodes())
+	norder := make([]int32, n)
+	for i := range norder {
+		norder[i] = int32(i)
+	}
+	sort.Slice(norder, func(a, b int) bool {
+		x, y := norder[a], norder[b]
+		if hr.nodeK[x] != hr.nodeK[y] {
+			return hr.nodeK[x] < hr.nodeK[y]
+		}
+		return hr.nodeMin[x] < hr.nodeMin[y]
+	})
+	h = fold(fnvOffset, uint64(n))
+	for _, id := range norder {
+		h = fold32(h, hr.nodeK[id])
+		h = fold32(h, hr.nodeMin[id])
+		h = fold(h, uint64(hr.edges[id]))
+		h = fold(h, uint64(hr.verts[id]))
+		if p := hr.parent[id]; p < 0 {
+			h = fold32(h, -1)
+			h = fold32(h, -1)
+		} else {
+			h = fold32(h, hr.nodeK[p])
+			h = fold32(h, hr.nodeMin[p])
+		}
+	}
+	cs.Hierarchy = h
+	return cs
+}

@@ -2,12 +2,14 @@ package graphio
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
 	"sync"
+	"syscall"
 
 	"equitruss/internal/core"
 	"equitruss/internal/faults"
@@ -141,12 +143,14 @@ func (cr *crcReader) checkTrailer() error {
 	return nil
 }
 
-// atomicWriteFile writes a file crash-safely: the payload goes to a
+// AtomicWriteFile writes a file crash-safely: the payload goes to a
 // same-directory temp file which is fsynced, closed, and renamed over the
 // destination, and the directory is fsynced so the rename itself is
 // durable. A crash at any point leaves either the old file or the new one,
-// never a torn mix; stray temp files are the only possible debris.
-func atomicWriteFile(path string, fill func(io.Writer) error) error {
+// never a torn mix; stray temp files are the only possible debris. It is
+// the save path behind WriteBinaryIndexFile/WriteBinaryGraphFile and is
+// exported for other durable writers (the WAL's compaction rewrite).
+func AtomicWriteFile(path string, fill func(io.Writer) error) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
@@ -172,17 +176,40 @@ func atomicWriteFile(path string, fill func(io.Writer) error) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("graphio: renaming into place: %w", err)
 	}
-	if d, err := os.Open(dir); err == nil {
-		d.Sync() // best-effort: durability of the rename, not correctness
-		d.Close()
+	// The rename is only durable once the directory entry itself is on
+	// disk: without this fsync a crash immediately after Save can roll the
+	// directory back to a state where the new file never existed. A failure
+	// here is a durability failure and must surface to the caller, not be
+	// swallowed.
+	if err := SyncDir(dir); err != nil {
+		return fmt.Errorf("graphio: syncing directory %s after rename: %w", dir, err)
+	}
+	return nil
+}
+
+// SyncDir fsyncs a directory so a preceding rename or create in it is
+// durable. Filesystems that cannot fsync directories (some network mounts)
+// report EINVAL or ENOTSUP; those are tolerated — the platform simply
+// offers no stronger guarantee — while real I/O errors are returned.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		if errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP) {
+			return nil
+		}
+		return err
 	}
 	return nil
 }
 
 // WriteBinaryIndexFile atomically writes a summary graph to path in the v2
-// checksummed format (see atomicWriteFile for the crash-safety contract).
+// checksummed format (see AtomicWriteFile for the crash-safety contract).
 func WriteBinaryIndexFile(path string, sg *core.SummaryGraph) error {
-	return atomicWriteFile(path, func(w io.Writer) error {
+	return AtomicWriteFile(path, func(w io.Writer) error {
 		return WriteBinaryIndex(w, sg)
 	})
 }
@@ -201,7 +228,7 @@ func ReadBinaryIndexFile(path string) (*core.SummaryGraph, error) {
 // WriteBinaryGraphFile atomically writes a graph to path in the v2
 // checksummed format.
 func WriteBinaryGraphFile(path string, g *graph.Graph) error {
-	return atomicWriteFile(path, func(w io.Writer) error {
+	return AtomicWriteFile(path, func(w io.Writer) error {
 		return WriteBinaryGraph(w, g)
 	})
 }

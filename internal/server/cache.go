@@ -17,7 +17,15 @@ var (
 		"LRU cache entries evicted to make room")
 )
 
-type cacheKey struct{ v, k int32 }
+// cacheKey includes the serving epoch: when a live update publishes a new
+// index, the epoch number advances and every entry cached under the old
+// epoch becomes unreachable (and ages out of the LRU) instead of serving
+// stale communities. Static servers stay on epoch 1 forever, so the extra
+// field costs nothing there.
+type cacheKey struct {
+	ep   uint64
+	v, k int32
+}
 
 type cacheEntry struct {
 	key cacheKey
@@ -47,15 +55,16 @@ func NewCache(capacity int) *Cache {
 	return &Cache{cap: capacity, ll: list.New(), items: make(map[cacheKey]*list.Element, capacity)}
 }
 
-// Get returns the cached result for (v, k), bumping its recency. The second
-// return distinguishes a cached empty result from a miss.
-func (c *Cache) Get(v, k int32) ([]community.Ref, bool) {
+// Get returns the result cached for (v, k) under epoch ep, bumping its
+// recency. The second return distinguishes a cached empty result from a
+// miss.
+func (c *Cache) Get(ep uint64, v, k int32) ([]community.Ref, bool) {
 	if c == nil {
 		return nil, false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	el, ok := c.items[cacheKey{v, k}]
+	el, ok := c.items[cacheKey{ep, v, k}]
 	if !ok {
 		cCacheMisses.Inc()
 		return nil, false
@@ -65,15 +74,15 @@ func (c *Cache) Get(v, k int32) ([]community.Ref, bool) {
 	return el.Value.(*cacheEntry).val, true
 }
 
-// Put stores the result for (v, k), evicting the least recently used entry
-// when full.
-func (c *Cache) Put(v, k int32, val []community.Ref) {
+// Put stores the result for (v, k) under epoch ep, evicting the least
+// recently used entry when full.
+func (c *Cache) Put(ep uint64, v, k int32, val []community.Ref) {
 	if c == nil {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	key := cacheKey{v, k}
+	key := cacheKey{ep, v, k}
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
 		el.Value.(*cacheEntry).val = val

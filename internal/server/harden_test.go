@@ -240,9 +240,9 @@ func TestCacheConcurrentHammer(t *testing.T) {
 				k := int32(3 + i%4)
 				switch i % 3 {
 				case 0:
-					c.Put(v, k, nil)
+					c.Put(1, v, k, nil)
 				case 1:
-					c.Get(v, k)
+					c.Get(1, v, k)
 				default:
 					c.Len()
 				}

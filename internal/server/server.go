@@ -30,6 +30,7 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"equitruss/internal/buildinfo"
@@ -126,9 +127,12 @@ const (
 	defaultMaxInFlight = 256
 )
 
-// Server answers community queries from one immutable index.
+// Server answers community queries from the current epoch's immutable
+// index. Static servers publish one epoch at construction and never swap;
+// live servers republish after each applied update batch.
 type Server struct {
-	idx        *community.Index
+	cur        atomic.Pointer[epoch]
+	live       *mutator // non-nil once EnableUpdates attached a WAL pipeline
 	cache      *Cache
 	pool       *Pool
 	tr         *obs.Trace
@@ -145,8 +149,19 @@ type Server struct {
 	testHook func()
 }
 
-// New builds a Server over a query-ready index.
+// New builds a Server over a query-ready index: a pending server with the
+// index published as epoch 1.
 func New(idx *community.Index, cfg Config) *Server {
+	s := NewPending(cfg)
+	s.Publish(idx, 0)
+	return s
+}
+
+// NewPending builds a Server with no index published yet: every query
+// endpoint answers 503 and /readyz reports not-ready until Publish swaps in
+// the first epoch. Live serving uses this shape so the HTTP listener (and
+// its probes) can come up while recovery replays the WAL.
+func NewPending(cfg Config) *Server {
 	cacheSize := cfg.CacheSize
 	if cacheSize == 0 {
 		cacheSize = defaultCacheSize
@@ -160,7 +175,6 @@ func New(idx *community.Index, cfg Config) *Server {
 		logger = olog.L()
 	}
 	s := &Server{
-		idx:   idx,
 		cache: NewCache(cacheSize),
 		pool:  NewPool(cfg.Workers),
 		tr:    cfg.Tracer,
@@ -185,16 +199,28 @@ func New(idx *community.Index, cfg Config) *Server {
 	s.mux.HandleFunc("/community", s.limited(s.handleCommunity))
 	s.mux.HandleFunc("/batch", s.limited(s.handleBatch))
 	s.mux.HandleFunc("/membership", s.limited(s.handleMembership))
+	s.mux.HandleFunc("/update", s.handleUpdate)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	// Probes bypass the admission limiter so readiness and liveness keep
+	// answering under query overload; /update has its own backpressure (the
+	// bounded update queue), so it is not admission-limited either.
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	// Diagnostics stay reachable under overload: like /healthz and
 	// /metrics, /debug/requests bypasses the admission limiter.
 	s.mux.HandleFunc("/debug/requests", s.handleDebugRequests)
 	s.handler = s.recovered(s.mux)
-	// Build the hierarchy before accepting traffic so the first query pays
-	// no lazy-build latency spike.
-	idx.Hierarchy()
 	return s
+}
+
+// Close stops the live-update applier, if one is attached, and waits for it
+// to finish the batch in progress. It does not close the WAL — the caller
+// that opened it owns it. Safe to call on a static server (no-op) and more
+// than once.
+func (s *Server) Close() {
+	if s.live != nil {
+		s.live.close()
+	}
 }
 
 // normalizeK clamps a client-supplied level to the query path's effective
@@ -330,9 +356,9 @@ func renderQuery(v, k int32, refs []community.Ref, cached, withVertices, withEdg
 // miss under a reserved pool slot. k must already be normalized. When ctx
 // carries a sampled request, the cache probe, pool wait, and hierarchy
 // query each record a stage in its trace.
-func (s *Server) lookup(ctx context.Context, v, k int32) ([]community.Ref, bool, error) {
+func (s *Server) lookup(ctx context.Context, ep *epoch, v, k int32) ([]community.Ref, bool, error) {
 	st := obs.StartStageFromContext(ctx, "cache lookup")
-	refs, ok := s.cache.Get(v, k)
+	refs, ok := s.cache.Get(ep.num, v, k)
 	st.End()
 	if ok {
 		return refs, true, nil
@@ -350,8 +376,8 @@ func (s *Server) lookup(ctx context.Context, v, k int32) ([]community.Ref, bool,
 	if err := faults.Inject(siteQuery); err != nil {
 		return nil, false, err
 	}
-	refs = s.idx.CommunityRefsCtx(ctx, v, k)
-	s.cache.Put(v, k, refs)
+	refs = ep.idx.CommunityRefsCtx(ctx, v, k)
+	s.cache.Put(ep.num, v, k, refs)
 	return refs, false, nil
 }
 
@@ -425,13 +451,18 @@ func (s *Server) handleCommunity(w http.ResponseWriter, r *http.Request) {
 		failf(http.StatusBadRequest, "bad k: %v", errK)
 		return
 	}
-	if v < 0 || v >= s.idx.G.NumVertices() {
-		failf(http.StatusBadRequest, "vertex %d outside [0, %d)", v, s.idx.G.NumVertices())
+	ep := s.epoch()
+	if ep == nil {
+		failf(http.StatusServiceUnavailable, "index not ready")
+		return
+	}
+	if v < 0 || v >= ep.idx.G.NumVertices() {
+		failf(http.StatusBadRequest, "vertex %d outside [0, %d)", v, ep.idx.G.NumVertices())
 		return
 	}
 	k = normalizeK(k)
 	info.Vertex, info.K = v, k
-	refs, cached, err := s.lookup(rq.WithContext(r.Context()), v, k)
+	refs, cached, err := s.lookup(rq.WithContext(r.Context()), ep, v, k)
 	if err != nil {
 		failf(http.StatusServiceUnavailable, "query aborted: %v", err)
 		return
@@ -480,8 +511,13 @@ func (s *Server) handleMembership(w http.ResponseWriter, r *http.Request) {
 		failf(http.StatusBadRequest, "bad v: %v", err)
 		return
 	}
-	if v < 0 || v >= s.idx.G.NumVertices() {
-		failf(http.StatusBadRequest, "vertex %d outside [0, %d)", v, s.idx.G.NumVertices())
+	ep := s.epoch()
+	if ep == nil {
+		failf(http.StatusServiceUnavailable, "index not ready")
+		return
+	}
+	if v < 0 || v >= ep.idx.G.NumVertices() {
+		failf(http.StatusBadRequest, "vertex %d outside [0, %d)", v, ep.idx.G.NumVertices())
 		return
 	}
 	info.Vertex = v
@@ -492,8 +528,8 @@ func (s *Server) handleMembership(w http.ResponseWriter, r *http.Request) {
 	st = rq.StartStage("hierarchy query")
 	doc := membershipDoc{
 		Vertex:     v,
-		MaxK:       s.idx.MaxK(v),
-		Membership: s.idx.Membership(v),
+		MaxK:       ep.idx.MaxK(v),
+		Membership: ep.idx.Membership(v),
 	}
 	st.End()
 	st = rq.StartStage("encode")
@@ -554,7 +590,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		failf(http.StatusRequestEntityTooLarge, "batch of %d exceeds limit %d", len(req.Queries), s.maxBatch)
 		return
 	}
-	n := s.idx.G.NumVertices()
+	ep := s.epoch()
+	if ep == nil {
+		failf(http.StatusServiceUnavailable, "index not ready")
+		return
+	}
+	n := ep.idx.G.NumVertices()
 	for i, q := range req.Queries {
 		if q.V < 0 || q.V >= n {
 			failf(http.StatusBadRequest, "query %d: vertex %d outside [0, %d)", i, q.V, n)
@@ -578,7 +619,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for i, q := range req.Queries {
 		k := normalizeK(q.K)
 		norm[i] = k
-		if refs, ok := s.cache.Get(q.V, k); ok {
+		if refs, ok := s.cache.Get(ep.num, q.V, k); ok {
 			results[i] = refs
 			cached[i] = true
 			continue
@@ -618,7 +659,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			failf(http.StatusServiceUnavailable, "batch aborted: %v", err)
 			return
 		}
-		out, err := s.idx.BatchCommunityRefsCtx(ctx, missQ, got)
+		out, err := ep.idx.BatchCommunityRefsCtx(ctx, missQ, got)
 		if err != nil {
 			failf(http.StatusServiceUnavailable, "batch aborted: %v", err)
 			return
@@ -626,7 +667,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		for j, i := range missIdx {
 			slot := missSlot[j]
 			results[i] = out[slot]
-			s.cache.Put(missQ[slot].Vertex, missQ[slot].K, out[slot])
+			s.cache.Put(ep.num, missQ[slot].Vertex, missQ[slot].K, out[slot])
 		}
 	}
 	resp := batchResponse{Results: make([]queryDoc, len(req.Queries))}
@@ -640,16 +681,47 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	span.EndItems(int64(len(req.Queries)))
 }
 
+// handleHealthz is the liveness probe: always 200 while the process
+// serves, even before the first epoch (readiness is /readyz's job). Beyond
+// the index shape it reports the serving epoch, the update pipeline's
+// acked-vs-applied sequence gap (staleness), and the canonical state
+// checksums as hex strings — uint64 fingerprints would lose precision as
+// JSON numbers.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":          "ok",
-		"revision":        buildinfo.Revision(),
-		"vertices":        s.idx.G.NumVertices(),
-		"edges":           s.idx.G.NumEdges(),
-		"supernodes":      s.idx.SG.NumSupernodes(),
-		"superedges":      s.idx.SG.NumSuperedges(),
-		"hierarchy_nodes": s.idx.Hierarchy().NumNodes(),
-	})
+	doc := map[string]any{
+		"status":   "ok",
+		"revision": buildinfo.Revision(),
+	}
+	if ep := s.epoch(); ep != nil {
+		doc["epoch"] = ep.num
+		doc["applied_seq"] = ep.seq
+		doc["vertices"] = ep.idx.G.NumVertices()
+		doc["edges"] = ep.idx.G.NumEdges()
+		doc["supernodes"] = ep.idx.SG.NumSupernodes()
+		doc["superedges"] = ep.idx.SG.NumSuperedges()
+		doc["hierarchy_nodes"] = ep.idx.Hierarchy().NumNodes()
+		doc["checksums"] = map[string]string{
+			"tau":       fmt.Sprintf("%016x", ep.sums.Tau),
+			"summary":   fmt.Sprintf("%016x", ep.sums.Summary),
+			"hierarchy": fmt.Sprintf("%016x", ep.sums.Hierarchy),
+		}
+	} else {
+		doc["epoch"] = 0
+	}
+	if m := s.live; m != nil {
+		acked, applied := m.ackedSeq.Load(), m.appliedSeq.Load()
+		doc["acked_seq"] = acked
+		doc["applied_seq"] = applied
+		doc["staleness"] = acked - applied
+		doc["update_queue_depth"] = len(m.queue)
+		doc["update_queue_cap"] = cap(m.queue)
+		if msg := m.degraded(); msg != "" {
+			doc["updates"] = "degraded: " + msg
+		} else {
+			doc["updates"] = "ok"
+		}
+	}
+	writeJSON(w, http.StatusOK, doc)
 }
 
 // instanceGauges snapshots this server's own capacity state — pool

@@ -241,17 +241,17 @@ func TestMetricsExposeCacheCounters(t *testing.T) {
 
 func TestCacheLRUEviction(t *testing.T) {
 	c := NewCache(2)
-	put := func(v int32) { c.Put(v, 3, nil) }
+	put := func(v int32) { c.Put(1, v, 3, nil) }
 	put(1)
 	put(2)
-	if _, ok := c.Get(1, 3); !ok {
+	if _, ok := c.Get(1, 1, 3); !ok {
 		t.Fatal("entry 1 missing before eviction")
 	}
 	put(3) // evicts 2 (1 was just touched)
-	if _, ok := c.Get(2, 3); ok {
+	if _, ok := c.Get(1, 2, 3); ok {
 		t.Fatal("entry 2 survived eviction")
 	}
-	if _, ok := c.Get(1, 3); !ok {
+	if _, ok := c.Get(1, 1, 3); !ok {
 		t.Fatal("recently used entry 1 evicted")
 	}
 	if c.Len() != 2 {
@@ -259,8 +259,8 @@ func TestCacheLRUEviction(t *testing.T) {
 	}
 	// A disabled cache is a nil *Cache with no-op methods.
 	var nilCache *Cache = NewCache(-1)
-	nilCache.Put(1, 3, nil)
-	if _, ok := nilCache.Get(1, 3); ok {
+	nilCache.Put(1, 1, 3, nil)
+	if _, ok := nilCache.Get(1, 1, 3); ok {
 		t.Fatal("disabled cache returned a hit")
 	}
 	if nilCache.Len() != 0 {

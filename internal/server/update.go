@@ -1,0 +1,419 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"equitruss/internal/community"
+	"equitruss/internal/core"
+	"equitruss/internal/dynamic"
+	"equitruss/internal/faults"
+	"equitruss/internal/graphio"
+	"equitruss/internal/obs"
+	olog "equitruss/internal/obs/log"
+	"equitruss/internal/wal"
+)
+
+// siteUpdate is the fault-injection site on the update admission path,
+// between the queue-capacity check and the WAL append: an injected error
+// here must fail the request with no WAL record and no state change.
+const siteUpdate = "server.update"
+
+var (
+	cUpdateRequests = obs.GetCounter("server_update_requests",
+		"POST /update requests accepted (WAL-acked)")
+	cUpdateOps = obs.GetCounter("server_update_ops",
+		"individual edge operations accepted inside /update batches")
+	cUpdateShed = obs.GetCounter("server_update_shed",
+		"POST /update requests rejected with 429 because the update queue was full")
+	cUpdateRebuildErrors = obs.GetCounter("server_update_rebuild_errors",
+		"index rebuilds that failed after applying a batch (retried with the next batch)")
+	cUpdateSnapshotErrors = obs.GetCounter("server_update_snapshot_errors",
+		"compaction snapshots that failed to write (WAL kept instead)")
+	cApplierPanics = obs.GetCounter("server_applier_panics",
+		"update-applier panics that switched the server to degraded read-only mode")
+	hUpdate = obs.GetHistogram("server_update_request",
+		"POST /update request latency (ack, not apply)")
+)
+
+// LiveConfig attaches a durable update pipeline to a pending server. The
+// caller owns recovery: Dyn must already reflect every WAL record up to and
+// including AppliedSeq (snapshot load + replay), and WAL must be open.
+type LiveConfig struct {
+	// WAL is the open write-ahead log updates are acked against. Required.
+	WAL *wal.WAL
+	// Dyn is the mutable graph state as of AppliedSeq. Required. After
+	// EnableUpdates the applier goroutine owns it exclusively.
+	Dyn *dynamic.Graph
+	// AppliedSeq is the WAL sequence already reflected in Dyn (and in the
+	// first published epoch).
+	AppliedSeq uint64
+	// QueueDepth bounds the update batches acked but not yet applied; a
+	// full queue sheds POST /update with 429 + Retry-After. 0 selects the
+	// default (64).
+	QueueDepth int
+	// MaxBatch caps the operations in one POST /update body; larger bodies
+	// get 413. 0 selects the default (10000).
+	MaxBatch int
+	// MaxVertexID caps the vertex IDs an update may introduce, bounding the
+	// allocation one request can force. 0 selects max(2·|V|, 1<<20).
+	MaxVertexID int32
+	// Variant and Threads drive the summary-graph rebuild after each
+	// applied batch (trussness is maintained incrementally; only the
+	// summary construction reruns).
+	Variant core.Variant
+	Threads int
+	// SnapshotPath, when non-empty, enables compaction: every CompactEvery
+	// applied batches the applier writes a snapshot there and truncates the
+	// WAL to the records past it.
+	SnapshotPath string
+	// CompactEvery is the number of applied batches between compactions.
+	// 0 selects the default (64).
+	CompactEvery int
+	// Logger receives applier-side records (rebuild failures, compactions,
+	// panics). Nil selects the process-wide logger.
+	Logger *slog.Logger
+
+	// testApplyHook, when set, runs on the applier goroutine after each
+	// drain cycle's first batch is received and before its ops apply —
+	// tests use it to hold the applier open while the queue fills.
+	testApplyHook func()
+}
+
+const (
+	defaultQueueDepth   = 64
+	defaultCompactEvery = 64
+)
+
+// updateBatch is one acked batch in flight between admission and apply.
+type updateBatch struct {
+	seq uint64
+	ops wal.Batch
+}
+
+// mutator is the single-writer update pipeline: admission (validate → WAL
+// append → enqueue) happens on request goroutines under mu so queue order
+// equals sequence order; one applier goroutine drains the queue, mutates
+// the dynamic graph, rebuilds the summary index, and publishes it as a new
+// epoch. Queries never block on any of it.
+type mutator struct {
+	s   *Server
+	cfg LiveConfig
+
+	// mu serializes the capacity check, the WAL append, and the enqueue.
+	// The applier only removes from the queue, so a length check under mu
+	// guarantees the subsequent send cannot block.
+	mu    sync.Mutex
+	queue chan updateBatch
+
+	ackedSeq   atomic.Uint64 // last sequence durably appended and acked
+	appliedSeq atomic.Uint64 // last sequence reflected in the published epoch
+	brokenMsg  atomic.Pointer[string]
+
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+func (m *mutator) degraded() string {
+	if p := m.brokenMsg.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+func (m *mutator) markDegraded(msg string) {
+	m.brokenMsg.CompareAndSwap(nil, &msg)
+}
+
+// EnableUpdates attaches the durable update pipeline and starts the applier
+// goroutine. Call once, before serving traffic, on a server whose first
+// epoch (matching cfg.Dyn at cfg.AppliedSeq) has been or is about to be
+// published. Stop with Close.
+func (s *Server) EnableUpdates(cfg LiveConfig) error {
+	if s.live != nil {
+		return errors.New("server: updates already enabled")
+	}
+	if cfg.WAL == nil || cfg.Dyn == nil {
+		return errors.New("server: LiveConfig needs both WAL and Dyn")
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = defaultQueueDepth
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = defaultMaxBatch
+	}
+	if cfg.MaxVertexID <= 0 {
+		cfg.MaxVertexID = 2 * cfg.Dyn.NumVertices()
+		if cfg.MaxVertexID < 1<<20 {
+			cfg.MaxVertexID = 1 << 20
+		}
+	}
+	if cfg.CompactEvery <= 0 {
+		cfg.CompactEvery = defaultCompactEvery
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = olog.L()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &mutator{
+		s:      s,
+		cfg:    cfg,
+		queue:  make(chan updateBatch, cfg.QueueDepth),
+		cancel: cancel,
+		done:   make(chan struct{}),
+	}
+	m.ackedSeq.Store(cfg.AppliedSeq)
+	m.appliedSeq.Store(cfg.AppliedSeq)
+	s.live = m
+	go m.run(ctx)
+	return nil
+}
+
+func (m *mutator) close() {
+	m.cancel()
+	<-m.done
+}
+
+// run is the applier loop. It coalesces every batch already queued into one
+// rebuild: under a write burst the dynamic-graph mutations (cheap, local)
+// batch up and the summary rebuild (the expensive part) runs once per
+// drain, so throughput degrades to rebuild frequency, not rebuild-per-ack.
+func (m *mutator) run(ctx context.Context) {
+	defer close(m.done)
+	defer func() {
+		if p := recover(); p != nil {
+			// A panic here means the mutable state may be mid-mutation:
+			// stop accepting updates (they could not be applied in order)
+			// but keep serving queries from the last published epoch.
+			cApplierPanics.Inc()
+			msg := fmt.Sprintf("update applier panicked: %v", p)
+			m.markDegraded(msg)
+			m.cfg.Logger.Error("update applier panicked; updates disabled until restart",
+				slog.String("panic", fmt.Sprint(p)))
+		}
+	}()
+	batchesSinceCompact := 0
+	for {
+		var first updateBatch
+		select {
+		case <-ctx.Done():
+			return
+		case first = <-m.queue:
+		}
+		if m.cfg.testApplyHook != nil {
+			m.cfg.testApplyHook()
+		}
+		last := m.applyOps(first)
+		// Greedy drain: coalesce everything already acked into this rebuild.
+		for drained := false; !drained; {
+			select {
+			case b := <-m.queue:
+				last = m.applyOps(b)
+			default:
+				drained = true
+			}
+		}
+		if err := m.rebuild(ctx, last); err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			// The mutations are in Dyn but unpublished; the next batch's
+			// rebuild includes them. Staleness (acked - applied) grows
+			// until a rebuild succeeds, which /healthz surfaces.
+			cUpdateRebuildErrors.Inc()
+			m.cfg.Logger.Error("index rebuild failed; retrying with next batch",
+				slog.Any("err", err), slog.Uint64("seq", last))
+			continue
+		}
+		batchesSinceCompact++
+		if m.cfg.SnapshotPath != "" && batchesSinceCompact >= m.cfg.CompactEvery {
+			m.compact(last)
+			batchesSinceCompact = 0
+		}
+	}
+}
+
+// applyOps folds one acked batch into the dynamic graph and returns its
+// sequence. Redundant operations (inserting an existing edge, deleting a
+// missing one) are no-ops by dynamic-graph contract, which makes WAL replay
+// idempotent across overlapping snapshots.
+func (m *mutator) applyOps(b updateBatch) uint64 {
+	for _, op := range b.ops {
+		if op.Del {
+			m.cfg.Dyn.DeleteEdge(op.U, op.V)
+		} else if _, err := m.cfg.Dyn.InsertEdge(op.U, op.V); err != nil {
+			// Validation rejects negative IDs and self-loops at admission,
+			// so an error here is a WAL record from a future format — skip
+			// the op rather than poison the applier.
+			m.cfg.Logger.Warn("skipping unappliable op",
+				slog.Int("u", int(op.U)), slog.Int("v", int(op.V)), slog.Any("err", err))
+		}
+	}
+	return b.seq
+}
+
+// rebuild reconstructs the summary graph and hierarchy from the maintained
+// trussness (no re-peeling) and publishes the result as a new epoch.
+func (m *mutator) rebuild(ctx context.Context, seq uint64) error {
+	g, tau, err := m.cfg.Dyn.ToStatic()
+	if err != nil {
+		return err
+	}
+	sg, _, err := core.BuildCtx(ctx, g, tau, m.cfg.Variant, m.cfg.Threads, nil)
+	if err != nil {
+		return err
+	}
+	m.s.Publish(community.NewIndex(g, sg), seq)
+	m.appliedSeq.Store(seq)
+	return nil
+}
+
+// compact writes a snapshot of the applied state and truncates the WAL to
+// the records past it. Both steps are fallible and both failure modes are
+// safe: a failed snapshot leaves the old snapshot + full log (recovery just
+// replays more), and a failed truncate leaves a longer log than needed.
+func (m *mutator) compact(seq uint64) {
+	g, tau, err := m.cfg.Dyn.ToStatic()
+	if err != nil {
+		cUpdateSnapshotErrors.Inc()
+		m.cfg.Logger.Error("compaction snapshot failed", slog.Any("err", err))
+		return
+	}
+	snap := &graphio.Snapshot{G: g, Tau: tau, Seq: seq}
+	if err := graphio.WriteSnapshotFile(m.cfg.SnapshotPath, snap); err != nil {
+		cUpdateSnapshotErrors.Inc()
+		m.cfg.Logger.Error("compaction snapshot failed", slog.Any("err", err))
+		return
+	}
+	if err := m.cfg.WAL.TruncateTo(seq); err != nil {
+		m.cfg.Logger.Warn("WAL truncation after snapshot failed", slog.Any("err", err))
+		return
+	}
+	m.cfg.Logger.Info("compacted",
+		slog.Uint64("seq", seq), slog.Int64("wal_bytes", m.cfg.WAL.Size()))
+}
+
+// updateRequest is the POST /update body: a batch of edge insertions and
+// deletions applied atomically with respect to sequencing (one WAL record,
+// one sequence number).
+type updateRequest struct {
+	Ops []struct {
+		Op string `json:"op,omitempty"` // "insert" (default) or "delete"
+		U  int32  `json:"u"`
+		V  int32  `json:"v"`
+	} `json:"ops"`
+}
+
+// updateResponse acks a durably logged batch. Acked means the batch is in
+// the WAL (fsynced under the always policy) and will be applied in sequence
+// order; it does not mean the serving index reflects it yet — poll
+// /healthz's applied_seq for that.
+type updateResponse struct {
+	Seq   uint64 `json:"seq"`
+	Acked bool   `json:"acked"`
+	Ops   int    `json:"ops"`
+}
+
+// admit is the serialized admission step: capacity check, WAL append,
+// enqueue — all under mu so queue order equals sequence order. The deferred
+// unlock keeps the mutex consistent even when the fault site panics (the
+// recovery middleware converts that to a 500). Returns (seq, 0, "") on
+// success or (0, httpStatus, message) on rejection.
+func (m *mutator) admit(batch wal.Batch) (uint64, int, string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.queue) == cap(m.queue) {
+		return 0, http.StatusTooManyRequests,
+			fmt.Sprintf("update queue full (%d batches pending)", cap(m.queue))
+	}
+	if err := faults.Inject(siteUpdate); err != nil {
+		return 0, http.StatusServiceUnavailable, fmt.Sprintf("update aborted: %v", err)
+	}
+	seq, err := m.cfg.WAL.Append(batch)
+	if err != nil {
+		if errors.Is(err, wal.ErrPoisoned) {
+			// Durability is unknowable past a failed fsync; refuse writes
+			// until an operator restarts (which re-scans the log) but keep
+			// answering queries from the published epoch.
+			m.markDegraded("WAL poisoned: " + err.Error())
+		}
+		return 0, http.StatusServiceUnavailable, fmt.Sprintf("WAL append failed: %v", err)
+	}
+	m.ackedSeq.Store(seq)
+	m.queue <- updateBatch{seq: seq, ops: batch} // cannot block: capacity checked under mu
+	return seq, 0, ""
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	m := s.live
+	if m == nil {
+		s.fail(w, http.StatusNotFound, "live updates not enabled (serve with -wal)")
+		return
+	}
+	start := time.Now()
+	defer func() { hUpdate.Observe(time.Since(start)) }()
+	if msg := m.degraded(); msg != "" {
+		s.fail(w, http.StatusServiceUnavailable, "updates degraded: %s", msg)
+		return
+	}
+	var req updateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, "bad body: %v", err)
+		return
+	}
+	if len(req.Ops) == 0 {
+		s.fail(w, http.StatusBadRequest, "empty update")
+		return
+	}
+	if len(req.Ops) > m.cfg.MaxBatch {
+		s.fail(w, http.StatusRequestEntityTooLarge, "update of %d ops exceeds limit %d",
+			len(req.Ops), m.cfg.MaxBatch)
+		return
+	}
+	batch := make(wal.Batch, len(req.Ops))
+	for i, op := range req.Ops {
+		var del bool
+		switch op.Op {
+		case "", "insert":
+		case "delete":
+			del = true
+		default:
+			s.fail(w, http.StatusBadRequest, "op %d: unknown op %q", i, op.Op)
+			return
+		}
+		if op.U < 0 || op.V < 0 || op.U > m.cfg.MaxVertexID || op.V > m.cfg.MaxVertexID {
+			s.fail(w, http.StatusBadRequest, "op %d: vertex outside [0, %d]", i, m.cfg.MaxVertexID)
+			return
+		}
+		if op.U == op.V {
+			s.fail(w, http.StatusBadRequest, "op %d: self-loop %d-%d", i, op.U, op.V)
+			return
+		}
+		batch[i] = wal.Op{Del: del, U: op.U, V: op.V}
+	}
+
+	seq, code, msg := m.admit(batch)
+	if code != 0 {
+		if code == http.StatusTooManyRequests {
+			cUpdateShed.Inc()
+			w.Header().Set("Retry-After", "1")
+		}
+		s.fail(w, code, "%s", msg)
+		return
+	}
+
+	cUpdateRequests.Inc()
+	cUpdateOps.Add(int64(len(batch)))
+	writeJSON(w, http.StatusOK, updateResponse{Seq: seq, Acked: true, Ops: len(batch)})
+}

@@ -1,0 +1,353 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"equitruss/internal/faults"
+)
+
+func testLog(t *testing.T, opt Options) (*WAL, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := Open(path, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w.Close() })
+	return w, path
+}
+
+func batch(i int) Batch {
+	return Batch{
+		{U: int32(i), V: int32(i + 1)},
+		{Del: true, U: int32(i + 2), V: int32(i + 3)},
+	}
+}
+
+func appendN(t *testing.T, w *WAL, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		seq, err := w.Append(batch(i))
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		if want := w.LastSeq(); seq != want {
+			t.Fatalf("append %d returned seq %d, LastSeq %d", i, seq, want)
+		}
+	}
+}
+
+func replayAll(t *testing.T, w *WAL, from uint64) map[uint64]Batch {
+	t.Helper()
+	got := map[uint64]Batch{}
+	if err := w.Replay(from, func(seq uint64, b Batch) error {
+		got[seq] = b
+		return nil
+	}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return got
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	w, path := testLog(t, Options{})
+	appendN(t, w, 10)
+	if w.LastSeq() != 10 {
+		t.Fatalf("LastSeq = %d, want 10", w.LastSeq())
+	}
+	got := replayAll(t, w, 0)
+	if len(got) != 10 {
+		t.Fatalf("replayed %d records, want 10", len(got))
+	}
+	for seq, b := range got {
+		want := batch(int(seq - 1))
+		if len(b) != len(want) {
+			t.Fatalf("seq %d: %d ops, want %d", seq, len(b), len(want))
+		}
+		for i := range b {
+			if b[i] != want[i] {
+				t.Fatalf("seq %d op %d: %+v, want %+v", seq, i, b[i], want[i])
+			}
+		}
+	}
+	// from filters already-applied records.
+	if got := replayAll(t, w, 7); len(got) != 3 {
+		t.Fatalf("replay from 7: %d records, want 3", len(got))
+	}
+
+	// Reopen: the same records survive and seq numbering continues.
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if w2.LastSeq() != 10 {
+		t.Fatalf("reopened LastSeq = %d, want 10", w2.LastSeq())
+	}
+	if seq, err := w2.Append(batch(99)); err != nil || seq != 11 {
+		t.Fatalf("append after reopen: seq=%d err=%v, want 11, nil", seq, err)
+	}
+}
+
+// TestTornTailTruncatedOnOpen is the crash-mid-write recovery contract:
+// every partial suffix of the final record must be cut away on open,
+// leaving the intact prefix readable and appendable.
+func TestTornTailTruncatedOnOpen(t *testing.T) {
+	w, path := testLog(t, Options{})
+	appendN(t, w, 5)
+	w.Close()
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goodSize := len(whole)
+
+	// Find where record 5 begins by reopening a 4-record log's size.
+	w4, p4 := testLog(t, Options{})
+	appendN(t, w4, 4)
+	prefixSize := int(w4.Size())
+	w4.Close()
+	_ = p4
+
+	for cut := prefixSize + 1; cut < goodSize; cut += 5 {
+		t.Run(fmt.Sprintf("cut@%d", cut), func(t *testing.T) {
+			p := filepath.Join(t.TempDir(), "wal.log")
+			if err := os.WriteFile(p, whole[:cut], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			w, err := Open(p, Options{})
+			if err != nil {
+				t.Fatalf("open with torn tail: %v", err)
+			}
+			defer w.Close()
+			if w.LastSeq() != 4 {
+				t.Fatalf("LastSeq after torn-tail truncation = %d, want 4", w.LastSeq())
+			}
+			if n := len(replayAll(t, w, 0)); n != 4 {
+				t.Fatalf("replayed %d records, want 4", n)
+			}
+			// The log stays usable: a new record takes seq 5.
+			if seq, err := w.Append(batch(50)); err != nil || seq != 5 {
+				t.Fatalf("append after truncation: seq=%d err=%v", seq, err)
+			}
+		})
+	}
+}
+
+// TestCorruptRecordTruncatesSuffix: a flipped byte inside a record makes
+// that record and everything after it untrusted.
+func TestCorruptRecordTruncatesSuffix(t *testing.T) {
+	w, path := testLog(t, Options{})
+	appendN(t, w, 5)
+	w2, _ := testLog(t, Options{})
+	appendN(t, w2, 2)
+	twoSize := w2.Size()
+	w2.Close()
+	w.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[twoSize+frameSize+1] ^= 0xFF // corrupt record 3's payload
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	wr, err := Open(path, Options{})
+	if err != nil {
+		t.Fatalf("open with corrupt record: %v", err)
+	}
+	defer wr.Close()
+	if wr.LastSeq() != 2 {
+		t.Fatalf("LastSeq = %d, want 2 (records 3-5 discarded)", wr.LastSeq())
+	}
+}
+
+func TestTruncateToCompacts(t *testing.T) {
+	w, path := testLog(t, Options{})
+	appendN(t, w, 10)
+	sizeBefore := w.Size()
+	if err := w.TruncateTo(7); err != nil {
+		t.Fatal(err)
+	}
+	if w.Size() >= sizeBefore {
+		t.Fatalf("size did not shrink: %d -> %d", sizeBefore, w.Size())
+	}
+	if w.LastSeq() != 10 {
+		t.Fatalf("LastSeq after compaction = %d, want 10", w.LastSeq())
+	}
+	got := replayAll(t, w, 0)
+	if len(got) != 3 {
+		t.Fatalf("replayed %d records after compaction, want 3", len(got))
+	}
+	for _, seq := range []uint64{8, 9, 10} {
+		if _, ok := got[seq]; !ok {
+			t.Fatalf("record %d missing after compaction", seq)
+		}
+	}
+	// Appends continue past the compaction point, and a reopen agrees.
+	if seq, err := w.Append(batch(0)); err != nil || seq != 11 {
+		t.Fatalf("append after compaction: seq=%d err=%v", seq, err)
+	}
+	w.Close()
+	w2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if w2.LastSeq() != 11 {
+		t.Fatalf("reopened LastSeq = %d, want 11", w2.LastSeq())
+	}
+
+	// Compacting everything empties the log.
+	if err := w2.TruncateTo(11); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(replayAll(t, w2, 0)); n != 0 {
+		t.Fatalf("replayed %d records after full compaction, want 0", n)
+	}
+}
+
+func TestSyncPolicies(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opt  Options
+	}{
+		{"always", Options{Policy: SyncAlways}},
+		{"interval", Options{Policy: SyncInterval, Interval: 5 * time.Millisecond}},
+		{"never", Options{Policy: SyncNever}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			w, path := testLog(t, tc.opt)
+			appendN(t, w, 3)
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+			w2, err := Open(path, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer w2.Close()
+			if w2.LastSeq() != 3 {
+				t.Fatalf("LastSeq = %d, want 3", w2.LastSeq())
+			}
+		})
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for s, want := range map[string]SyncPolicy{
+		"always": SyncAlways, "interval": SyncInterval, "never": SyncNever, "": SyncAlways,
+	} {
+		got, err := ParseSyncPolicy(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseSyncPolicy(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseSyncPolicy("sometimes"); err == nil {
+		t.Fatal("ParseSyncPolicy accepted garbage")
+	}
+}
+
+// TestAppendFaultIsTransient: an injected wal.append error fails the one
+// append without touching the file — later appends succeed.
+func TestAppendFaultIsTransient(t *testing.T) {
+	w, _ := testLog(t, Options{})
+	faults.Enable(1)
+	defer faults.Disable()
+	faults.Set("wal.append", faults.Plan{Action: faults.Error, Every: 1, MaxFires: 1})
+	if _, err := w.Append(batch(0)); !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("want injected error, got %v", err)
+	}
+	if seq, err := w.Append(batch(1)); err != nil || seq != 1 {
+		t.Fatalf("append after transient fault: seq=%d err=%v", seq, err)
+	}
+}
+
+// TestFsyncFaultPoisonsLog: once an fsync fails, durability of anything
+// later is unknowable — every subsequent Append must fail fast.
+func TestFsyncFaultPoisonsLog(t *testing.T) {
+	w, path := testLog(t, Options{})
+	appendN(t, w, 2)
+	faults.Enable(1)
+	defer faults.Disable()
+	faults.Set("wal.fsync", faults.Plan{Action: faults.Error, Every: 1, MaxFires: 1})
+	if _, err := w.Append(batch(2)); err == nil {
+		t.Fatal("append with failing fsync succeeded")
+	}
+	faults.Disable()
+	if _, err := w.Append(batch(3)); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("poisoned log accepted an append: %v", err)
+	}
+	if err := w.Sync(); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("poisoned log accepted a sync: %v", err)
+	}
+	w.Close()
+	// Restart recovers: the two acked records are intact.
+	w2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if w2.LastSeq() < 2 {
+		t.Fatalf("LastSeq after restart = %d, want >= 2", w2.LastSeq())
+	}
+}
+
+func TestConcurrentAppends(t *testing.T) {
+	w, _ := testLog(t, Options{Policy: SyncNever})
+	const G, per = 8, 50
+	var wg sync.WaitGroup
+	seqs := make([][]uint64, G)
+	for g := 0; g < G; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				seq, err := w.Append(batch(g*per + i))
+				if err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+				seqs[g] = append(seqs[g], seq)
+			}
+		}(g)
+	}
+	wg.Wait()
+	seen := map[uint64]bool{}
+	for _, ss := range seqs {
+		for _, s := range ss {
+			if seen[s] {
+				t.Fatalf("seq %d assigned twice", s)
+			}
+			seen[s] = true
+		}
+	}
+	if len(seen) != G*per || w.LastSeq() != G*per {
+		t.Fatalf("got %d unique seqs, LastSeq %d, want %d", len(seen), w.LastSeq(), G*per)
+	}
+	if n := len(replayAll(t, w, 0)); n != G*per {
+		t.Fatalf("replayed %d records, want %d", n, G*per)
+	}
+}
+
+func TestDecodeBatchRejectsGarbage(t *testing.T) {
+	if _, err := DecodeBatch([]byte{1, 2}); err == nil {
+		t.Fatal("short payload accepted")
+	}
+	if _, err := DecodeBatch([]byte{255, 255, 255, 255}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if b, err := DecodeBatch(encodeBatch(nil)); err != nil || len(b) != 0 {
+		t.Fatalf("empty batch round-trip: %v, %v", b, err)
+	}
+}

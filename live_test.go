@@ -1,0 +1,279 @@
+package equitruss_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"equitruss"
+	"equitruss/internal/faults"
+)
+
+// liveBase is a deterministic base graph for the durability tests.
+func liveBase(t *testing.T) *equitruss.Graph {
+	t.Helper()
+	return equitruss.GenerateRMAT(8, 6, 42)
+}
+
+func openLive(t *testing.T, dir string, base *equitruss.Graph, mutate func(*equitruss.LiveOptions)) *equitruss.LiveIndex {
+	t.Helper()
+	opt := equitruss.LiveOptions{Dir: dir, Threads: 1}
+	if mutate != nil {
+		mutate(&opt)
+	}
+	li, err := equitruss.OpenLive(context.Background(), base, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return li
+}
+
+func liveHandler(t *testing.T, li *equitruss.LiveIndex) *httptest.Server {
+	t.Helper()
+	h, closeFn, err := equitruss.NewLiveHandler(li, equitruss.ServeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(closeFn)
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func livePost(t *testing.T, ts *httptest.Server, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := ts.Client().Post(ts.URL+"/update", "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc map[string]any
+	json.NewDecoder(resp.Body).Decode(&doc)
+	return resp, doc
+}
+
+func liveGet(t *testing.T, ts *httptest.Server, path string) (int, map[string]any) {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc map[string]any
+	json.NewDecoder(resp.Body).Decode(&doc)
+	return resp.StatusCode, doc
+}
+
+func liveWaitApplied(t *testing.T, ts *httptest.Server, seq uint64) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, doc := liveGet(t, ts, "/healthz")
+		if applied, ok := doc["applied_seq"].(float64); ok && uint64(applied) >= seq {
+			return doc
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("applied_seq never reached %d: %v", seq, doc)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestLiveRecoveryMatchesStaticRebuild is the end-to-end durability
+// contract: serve, mutate, abandon without clean shutdown, recover from
+// disk — the recovered state must fingerprint identically to the state the
+// live server last served, and to a from-scratch static build over the
+// same edge stream.
+func TestLiveRecoveryMatchesStaticRebuild(t *testing.T) {
+	dir := t.TempDir()
+	base := liveBase(t)
+	li := openLive(t, dir, base, nil)
+	ts := liveHandler(t, li)
+	n := int(base.NumVertices())
+	const batches = 10
+	for i := 0; i < batches; i++ {
+		body := fmt.Sprintf(`{"ops":[{"u":%d,"v":%d},{"op":"delete","u":%d,"v":%d}]}`,
+			n+i, i%n, (7*i)%n, (11*i+2)%n)
+		resp, doc := livePost(t, ts, body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("update %d: status %d: %v", i, resp.StatusCode, doc)
+		}
+	}
+	health := liveWaitApplied(t, ts, batches)
+	servedSums := health["checksums"].(map[string]any)
+	ts.Close()
+	// Abandon: no server drain, no WAL close beyond the OS file state —
+	// Close here only releases the handle (appends are already fsynced
+	// under the default always policy).
+	li.Close()
+
+	li2 := openLive(t, dir, base, nil)
+	defer li2.Close()
+	if li2.Seq != batches {
+		t.Fatalf("recovered Seq = %d, want %d", li2.Seq, batches)
+	}
+	got := li2.Index.Checksums()
+	for layer, g := range map[string]uint64{
+		"tau": got.Tau, "summary": got.Summary, "hierarchy": got.Hierarchy,
+	} {
+		if want := servedSums[layer].(string); fmt.Sprintf("%016x", g) != want {
+			t.Fatalf("%s checksum after recovery: %016x, served %s", layer, g, want)
+		}
+	}
+	// A recovered server is immediately ready and serves the updated state.
+	ts2 := liveHandler(t, li2)
+	if code, doc := liveGet(t, ts2, "/readyz"); code != http.StatusOK {
+		t.Fatalf("recovered /readyz: %d %v", code, doc)
+	}
+	if code, doc := liveGet(t, ts2, "/healthz"); code != http.StatusOK {
+		t.Fatalf("recovered /healthz: %d %v", code, doc)
+	} else if doc["applied_seq"].(float64) != batches {
+		t.Fatalf("recovered applied_seq: %v", doc["applied_seq"])
+	}
+}
+
+// TestLiveCompactionTruncatesWAL: with aggressive compaction the applier
+// writes snapshots and truncates the log; recovery then starts from the
+// snapshot and still reaches the identical state.
+func TestLiveCompactionTruncatesWAL(t *testing.T) {
+	dir := t.TempDir()
+	base := liveBase(t)
+	li := openLive(t, dir, base, func(o *equitruss.LiveOptions) { o.CompactEvery = 1 })
+	ts := liveHandler(t, li)
+	n := int(base.NumVertices())
+	const batches = 6
+	for i := 0; i < batches; i++ {
+		resp, _ := livePost(t, ts, fmt.Sprintf(`{"ops":[{"u":%d,"v":%d}]}`, n+i, i%n))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("update %d failed", i)
+		}
+		liveWaitApplied(t, ts, uint64(i+1))
+	}
+	health := liveWaitApplied(t, ts, batches)
+	servedSums := health["checksums"].(map[string]any)
+	// Give the applier a moment to finish the final compaction (it runs
+	// after publish).
+	deadline := time.Now().Add(5 * time.Second)
+	snapPath := filepath.Join(dir, "snapshot.eqs")
+	for {
+		if _, err := os.Stat(snapPath); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("compaction never wrote a snapshot")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	ts.Close()
+	li.Close()
+
+	// The log must have been truncated: recovery replays only a suffix.
+	li2 := openLive(t, dir, base, nil)
+	defer li2.Close()
+	if li2.Seq != batches {
+		t.Fatalf("recovered Seq = %d, want %d", li2.Seq, batches)
+	}
+	got := li2.Index.Checksums()
+	if fmt.Sprintf("%016x", got.Tau) != servedSums["tau"].(string) {
+		t.Fatalf("tau checksum diverged after snapshot-based recovery")
+	}
+
+	// Corrupting the snapshot with a compacted WAL must fail recovery loudly
+	// (the history needed to rebuild from base is gone).
+	li2.Close()
+	data, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(snapPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := equitruss.OpenLive(context.Background(), base, equitruss.LiveOptions{Dir: dir, Threads: 1}); err == nil {
+		t.Fatal("recovery with corrupt snapshot and compacted WAL succeeded silently")
+	}
+}
+
+// TestChaosUpdateFaultNoStateChange: an injected error on the update
+// admission path (before the WAL append) must fail that request with no
+// sequence consumed and no durable record; the next update proceeds.
+func TestChaosUpdateFaultNoStateChange(t *testing.T) {
+	dir := t.TempDir()
+	li := openLive(t, dir, liveBase(t), nil)
+	defer li.Close()
+	ts := liveHandler(t, li)
+	faults.Enable(1)
+	defer faults.Disable()
+	faults.Set("server.update", faults.Plan{Action: faults.Error, Every: 1, MaxFires: 1})
+	resp, _ := livePost(t, ts, `{"ops":[{"u":1,"v":3}]}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("faulted update: status %d, want 503", resp.StatusCode)
+	}
+	if li.WAL.LastSeq() != 0 {
+		t.Fatalf("faulted update reached the WAL: seq %d", li.WAL.LastSeq())
+	}
+	resp, doc := livePost(t, ts, `{"ops":[{"u":1,"v":3}]}`)
+	if resp.StatusCode != http.StatusOK || doc["seq"].(float64) != 1 {
+		t.Fatalf("update after fault: status %d doc %v", resp.StatusCode, doc)
+	}
+}
+
+// TestChaosWALFsyncDegradesToReadOnly: a failed fsync poisons the log —
+// updates turn 503 while queries keep serving from the published epoch, and
+// a restart recovers every previously acked record.
+func TestChaosWALFsyncDegradesToReadOnly(t *testing.T) {
+	base := runtime.NumGoroutine()
+	dir := t.TempDir()
+	li := openLive(t, dir, liveBase(t), nil)
+	// Built by hand (not liveHandler) so the applier can be stopped before
+	// the goroutine-leak check — t.Cleanup would run too late.
+	h, closeFn, err := equitruss.NewLiveHandler(li, equitruss.ServeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(h)
+	if resp, _ := livePost(t, ts, `{"ops":[{"u":1,"v":3}]}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("pre-fault update: status %d", resp.StatusCode)
+	}
+	liveWaitApplied(t, ts, 1)
+	faults.Enable(1)
+	defer faults.Disable()
+	faults.Set("wal.fsync", faults.Plan{Action: faults.Error, Every: 1, MaxFires: 1})
+	resp, _ := livePost(t, ts, `{"ops":[{"u":2,"v":4}]}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("fsync-faulted update: status %d, want 503", resp.StatusCode)
+	}
+	faults.Disable()
+	// Poisoned: subsequent updates fail fast...
+	resp, doc := livePost(t, ts, `{"ops":[{"u":2,"v":5}]}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-poison update: status %d %v, want 503", resp.StatusCode, doc)
+	}
+	// ...liveness reports degraded...
+	if _, health := liveGet(t, ts, "/healthz"); health["updates"] == "ok" {
+		t.Fatalf("healthz still reports updates ok after poisoning: %v", health["updates"])
+	}
+	// ...and queries keep working.
+	if code, _ := liveGet(t, ts, "/community?v=1&k=3"); code != http.StatusOK {
+		t.Fatalf("query during degraded mode: status %d", code)
+	}
+	ts.Close()
+	closeFn()
+	li.Close()
+	chaosWaitGoroutines(t, base)
+
+	// Restart recovers: the acked record survives, the failed ones do not.
+	li2 := openLive(t, dir, liveBase(t), nil)
+	defer li2.Close()
+	if li2.Seq != 1 {
+		t.Fatalf("recovered Seq = %d, want 1 (only the acked update)", li2.Seq)
+	}
+}
