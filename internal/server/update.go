@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"math"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -90,7 +91,28 @@ type LiveConfig struct {
 const (
 	defaultQueueDepth   = 64
 	defaultCompactEvery = 64
+
+	// updateOpJSONBytes is the body-size budget per operation when capping
+	// POST /update reads: a fully spelled-out op ({"op":"delete","u":…,"v":…}
+	// with ten-digit IDs) is under 50 JSON bytes, so 64 leaves slack for
+	// whitespace without letting one request stream an unbounded body.
+	updateOpJSONBytes = 64
 )
+
+// defaultMaxVertexID derives the MaxVertexID default from the graph size:
+// max(2·|V|, 1<<20), computed in int64 so graphs past 2^30 vertices clamp
+// to MaxInt32 instead of overflowing negative (which would then be
+// "defaulted" to 1<<20 and reject valid updates to existing vertices).
+func defaultMaxVertexID(numVertices int32) int32 {
+	id := 2 * int64(numVertices)
+	if id < 1<<20 {
+		id = 1 << 20
+	}
+	if id > math.MaxInt32 {
+		id = math.MaxInt32
+	}
+	return int32(id)
+}
 
 // updateBatch is one acked batch in flight between admission and apply.
 type updateBatch struct {
@@ -150,10 +172,7 @@ func (s *Server) EnableUpdates(cfg LiveConfig) error {
 		cfg.MaxBatch = defaultMaxBatch
 	}
 	if cfg.MaxVertexID <= 0 {
-		cfg.MaxVertexID = 2 * cfg.Dyn.NumVertices()
-		if cfg.MaxVertexID < 1<<20 {
-			cfg.MaxVertexID = 1 << 20
-		}
+		cfg.MaxVertexID = defaultMaxVertexID(cfg.Dyn.NumVertices())
 	}
 	if cfg.CompactEvery <= 0 {
 		cfg.CompactEvery = defaultCompactEvery
@@ -367,8 +386,17 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusServiceUnavailable, "updates degraded: %s", msg)
 		return
 	}
+	// Cap the body before decoding: MaxBatch only bounds allocation if it is
+	// enforced before json.Decode materializes an arbitrarily long ops array.
+	r.Body = http.MaxBytesReader(w, r.Body, int64(m.cfg.MaxBatch)*updateOpJSONBytes+1024)
 	var req updateRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.fail(w, http.StatusRequestEntityTooLarge,
+				"body exceeds %d bytes (at most %d ops per update)", tooBig.Limit, m.cfg.MaxBatch)
+			return
+		}
 		s.fail(w, http.StatusBadRequest, "bad body: %v", err)
 		return
 	}

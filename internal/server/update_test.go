@@ -223,6 +223,53 @@ func TestUpdateValidation(t *testing.T) {
 	}
 }
 
+// TestUpdateBodySizeCapped: the body is bounded before JSON decoding, so a
+// request with vastly more ops than MaxBatch (or an arbitrarily large body
+// of any shape) is cut off at the reader instead of being materialized.
+func TestUpdateBodySizeCapped(t *testing.T) {
+	s, ts := newLiveServer(t, "clique", func(lc *LiveConfig) { lc.MaxBatch = 2 })
+	var huge bytes.Buffer
+	huge.WriteString(`{"ops":[`)
+	for i := 0; i < 10000; i++ {
+		if i > 0 {
+			huge.WriteByte(',')
+		}
+		fmt.Fprintf(&huge, `{"u":%d,"v":%d}`, i, i+1)
+	}
+	huge.WriteString(`]}`)
+	for _, tc := range []struct{ name, body string }{
+		{"too-many-ops", huge.String()},
+		{"giant-padding", `{"pad":"` + string(bytes.Repeat([]byte{'x'}, 1<<20)) + `","ops":[{"u":1,"v":2}]}`},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, doc := postUpdate(t, ts, tc.body)
+			if resp.StatusCode != http.StatusRequestEntityTooLarge {
+				t.Fatalf("status %d, want 413: %v", resp.StatusCode, doc)
+			}
+		})
+	}
+	if got := s.live.cfg.WAL.LastSeq(); got != 0 {
+		t.Fatalf("rejected oversized updates reached the WAL: LastSeq = %d", got)
+	}
+}
+
+// TestDefaultMaxVertexID: the default is 2·|V| floored at 1<<20 — computed
+// in int64 so graphs past 2^30 vertices clamp to MaxInt32 instead of
+// overflowing negative and collapsing to the floor.
+func TestDefaultMaxVertexID(t *testing.T) {
+	for _, tc := range []struct{ n, want int32 }{
+		{0, 1 << 20},
+		{5, 1 << 20},
+		{1 << 20, 1 << 21},
+		{1 << 30, (1 << 31) - 1},       // 2·n == 2^31 overflows int32: clamp
+		{(1 << 31) - 1, (1 << 31) - 1}, // max |V|: clamp, not negative
+	} {
+		if got := defaultMaxVertexID(tc.n); got != tc.want {
+			t.Fatalf("defaultMaxVertexID(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+}
+
 // TestUpdateOnStaticServer: without EnableUpdates, POST /update is 404 and
 // everything else is unaffected.
 func TestUpdateOnStaticServer(t *testing.T) {

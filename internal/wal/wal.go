@@ -7,15 +7,21 @@
 //
 // On-disk layout (little-endian):
 //
-//	header = magic "EQWL", version
+//	header = magic "EQWL", version, baseSeq u64
 //	record = payloadLen u32, seq u64, payload, crc u32
 //
 // The record CRC covers payloadLen, seq, and the payload, so a flipped
 // length field cannot silently desynchronize the framing. seq values are
-// strictly increasing and assigned by Append. A torn tail — the partial
-// record a crash mid-write leaves behind — is detected on Open (short
-// frame, implausible length, CRC mismatch, or seq regression) and
-// truncated away; everything before it is intact by construction.
+// strictly increasing and assigned by Append. baseSeq is the sequence
+// floor: every record in the file has seq > baseSeq, and compaction
+// (TruncateTo) advances it so that a log whose records have all been
+// dropped still remembers where the sequence space left off — without it,
+// a reopen of a fully-compacted log would restart numbering at 1, below
+// the snapshot's sequence, and recovery would silently skip the renumbered
+// records. A torn tail — the partial record a crash mid-write leaves
+// behind — is detected on Open (short frame, implausible length, CRC
+// mismatch, or seq regression) and truncated away; everything before it is
+// intact by construction.
 //
 // Durability model: Append returns only after the record reaches the log
 // under the configured SyncPolicy. SyncAlways (the default) fsyncs every
@@ -68,9 +74,9 @@ var (
 
 const (
 	walMagic   = uint32(0x4551574C) // "EQWL"
-	walVersion = uint32(1)
+	walVersion = uint32(2)
 
-	headerSize = 8  // magic + version
+	headerSize = 16 // magic + version + baseSeq
 	frameSize  = 12 // payloadLen + seq
 	crcSize    = 4
 
@@ -83,6 +89,16 @@ const (
 )
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// encodeHeader builds the fixed-size file header carrying the sequence
+// floor baseSeq.
+func encodeHeader(baseSeq uint64) [headerSize]byte {
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], walMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], walVersion)
+	binary.LittleEndian.PutUint64(hdr[8:], baseSeq)
+	return hdr
+}
 
 // ErrPoisoned wraps the first write/fsync failure; every Append after it
 // fails fast with an error chain containing both sentinels.
@@ -151,8 +167,8 @@ type Options struct {
 }
 
 // WAL is an open write-ahead log. Append/TruncateTo/Close are safe for
-// concurrent use; Replay may run concurrently with appends (it reads a
-// consistent prefix).
+// concurrent use; Replay may run concurrently with appends and with
+// TruncateTo (it reads a consistent prefix through its own file handle).
 type WAL struct {
 	path string
 	opt  Options
@@ -160,6 +176,7 @@ type WAL struct {
 	mu      sync.Mutex
 	f       *os.File
 	size    int64 // offset of the next record (all complete records end here)
+	base    uint64 // sequence floor from the header: every record has seq > base
 	lastSeq uint64
 	err     error // sticky poison
 	dirty   bool  // bytes appended since the last fsync
@@ -201,9 +218,7 @@ func (w *WAL) initAndScan() error {
 		return fmt.Errorf("wal: stat: %w", err)
 	}
 	if st.Size() == 0 {
-		var hdr [headerSize]byte
-		binary.LittleEndian.PutUint32(hdr[0:], walMagic)
-		binary.LittleEndian.PutUint32(hdr[4:], walVersion)
+		hdr := encodeHeader(0)
 		if _, err := w.f.WriteAt(hdr[:], 0); err != nil {
 			return fmt.Errorf("wal: writing header: %w", err)
 		}
@@ -223,7 +238,8 @@ func (w *WAL) initAndScan() error {
 	if v := binary.LittleEndian.Uint32(hdr[4:]); v != walVersion {
 		return fmt.Errorf("wal: %s: unsupported version %d", w.path, v)
 	}
-	good, lastSeq := scanRecords(w.f, headerSize, st.Size(), 0, nil)
+	w.base = binary.LittleEndian.Uint64(hdr[8:])
+	good, lastSeq := scanRecords(w.f, headerSize, st.Size(), w.base, nil)
 	if good < st.Size() {
 		// Torn or corrupt tail: drop it. Every acked record under SyncAlways
 		// is before this point; what follows was never acknowledged (or was
@@ -449,13 +465,24 @@ func (w *WAL) syncLoop() {
 // Replay streams every intact record with seq > from, in order. The
 // callback's error aborts the replay and is returned. Replay reads the
 // prefix that existed when it started; concurrent appends are not
-// observed.
+// observed, and a concurrent TruncateTo is harmless — Replay opens its own
+// handle to the inode current at its start, which the compaction's rename
+// cannot invalidate.
 func (w *WAL) Replay(from uint64, fn func(seq uint64, b Batch) error) error {
+	// The open happens under the mutex so the path still names w.f's inode
+	// (TruncateTo swaps both, atomically with respect to mu). The private
+	// handle keeps that inode readable even if a compaction replaces the
+	// file mid-replay.
 	w.mu.Lock()
-	f, limit := w.f, w.size
+	f, err := os.Open(w.path)
+	limit, base := w.size, w.base
 	w.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("wal: opening for replay: %w", err)
+	}
+	defer f.Close()
 	var cbErr error
-	end, _ := scanRecords(f, headerSize, limit, 0, func(seq uint64, payload []byte) error {
+	end, _ := scanRecords(f, headerSize, limit, base, func(seq uint64, payload []byte) error {
 		if seq <= from {
 			return nil
 		}
@@ -486,12 +513,22 @@ func (w *WAL) Replay(from uint64, fn func(seq uint64, b Batch) error) error {
 // after a snapshot covering upTo is durably saved. The retained suffix is
 // rewritten through the atomic temp+fsync+rename save path, so a crash
 // mid-compaction leaves either the old log or the new one, never a torn
-// mix.
+// mix. The rewritten header carries the advanced sequence floor, so even a
+// compaction that drops every record preserves the numbering across a
+// reopen — without it, the next process would assign sequences below the
+// snapshot's and recovery would silently skip them.
 func (w *WAL) TruncateTo(upTo uint64) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.err != nil {
 		return w.err
+	}
+	// The new floor never regresses and never outruns lastSeq: a floor past
+	// lastSeq would make a reopened empty log resume numbering above
+	// records that were never written, opening a gap against the snapshot.
+	newBase := w.base
+	if floor := min(upTo, w.lastSeq); floor > newBase {
+		newBase = floor
 	}
 	// Collect retained frames (seq > upTo) from the intact prefix.
 	type frame struct {
@@ -499,7 +536,7 @@ func (w *WAL) TruncateTo(upTo uint64) error {
 		payload []byte
 	}
 	var retained []frame
-	scanRecords(w.f, headerSize, w.size, 0, func(seq uint64, payload []byte) error {
+	scanRecords(w.f, headerSize, w.size, w.base, func(seq uint64, payload []byte) error {
 		if seq > upTo {
 			p := make([]byte, len(payload))
 			copy(p, payload)
@@ -508,9 +545,7 @@ func (w *WAL) TruncateTo(upTo uint64) error {
 		return nil
 	})
 	err := graphio.AtomicWriteFile(w.path, func(out io.Writer) error {
-		var hdr [headerSize]byte
-		binary.LittleEndian.PutUint32(hdr[0:], walMagic)
-		binary.LittleEndian.PutUint32(hdr[4:], walVersion)
+		hdr := encodeHeader(newBase)
 		if _, err := out.Write(hdr[:]); err != nil {
 			return err
 		}
@@ -545,6 +580,7 @@ func (w *WAL) TruncateTo(upTo uint64) error {
 	w.f.Close()
 	w.f = nf
 	w.size = st.Size()
+	w.base = newBase
 	w.dirty = false
 	// lastSeq is unchanged: compaction never drops the head of the
 	// sequence space, only records already covered by a snapshot.

@@ -217,6 +217,87 @@ func TestTruncateToCompacts(t *testing.T) {
 	}
 }
 
+// TestSeqFloorSurvivesFullCompaction is the regression test for the lost
+// sequence floor: compact everything away (as the applier does once a
+// snapshot covers the whole log), restart, write, restart again. Without a
+// persisted floor the record-free log reopens at lastSeq 0, the post-restart
+// write takes seq 1 — below the snapshot's 5 — and the second recovery's
+// Replay(from=5) silently drops it despite the 200 ack.
+func TestSeqFloorSurvivesFullCompaction(t *testing.T) {
+	const snapSeq = 5
+	w, path := testLog(t, Options{})
+	appendN(t, w, snapSeq)
+	if err := w.TruncateTo(snapSeq); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// First restart: the empty log must still know the sequence space ends
+	// at the snapshot.
+	w2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2.LastSeq() != snapSeq {
+		t.Fatalf("reopened fully-compacted log: LastSeq = %d, want %d", w2.LastSeq(), snapSeq)
+	}
+	if seq, err := w2.Append(batch(0)); err != nil || seq != snapSeq+1 {
+		t.Fatalf("append after compacted reopen: seq=%d err=%v, want %d", seq, err, snapSeq+1)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second restart: recovery replays from the snapshot seq and must see
+	// exactly the post-restart record, contiguously.
+	w3, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w3.Close()
+	got := replayAll(t, w3, snapSeq)
+	if len(got) != 1 {
+		t.Fatalf("replay from %d after restart-write-restart: %d records, want 1", snapSeq, len(got))
+	}
+	if _, ok := got[snapSeq+1]; !ok {
+		t.Fatalf("replayed seqs %v, want {%d}", got, snapSeq+1)
+	}
+	// And the floor itself never regresses across repeated compactions.
+	if err := w3.TruncateTo(snapSeq + 1); err != nil {
+		t.Fatal(err)
+	}
+	if seq, err := w3.Append(batch(1)); err != nil || seq != snapSeq+2 {
+		t.Fatalf("append after second compaction: seq=%d err=%v, want %d", seq, err, snapSeq+2)
+	}
+}
+
+// TestTruncateToFloorNeverOutrunsLastSeq: a compaction point past the last
+// written record must not push the floor beyond it, or a reopened empty log
+// would resume numbering above records that never existed.
+func TestTruncateToFloorNeverOutrunsLastSeq(t *testing.T) {
+	w, path := testLog(t, Options{})
+	appendN(t, w, 3)
+	if err := w.TruncateTo(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if w2.LastSeq() != 3 {
+		t.Fatalf("LastSeq after over-shooting compaction = %d, want 3", w2.LastSeq())
+	}
+	if seq, err := w2.Append(batch(0)); err != nil || seq != 4 {
+		t.Fatalf("append: seq=%d err=%v, want 4", seq, err)
+	}
+}
+
 func TestSyncPolicies(t *testing.T) {
 	for _, tc := range []struct {
 		name string
@@ -338,6 +419,43 @@ func TestConcurrentAppends(t *testing.T) {
 	if n := len(replayAll(t, w, 0)); n != G*per {
 		t.Fatalf("replayed %d records, want %d", n, G*per)
 	}
+}
+
+// TestReplayConcurrentWithTruncateTo: Replay reads through its own file
+// handle, so a compaction landing mid-replay (which closes and replaces
+// the WAL's handle) cannot yank the file out from under it.
+func TestReplayConcurrentWithTruncateTo(t *testing.T) {
+	w, _ := testLog(t, Options{Policy: SyncNever})
+	const n = 200
+	appendN(t, w, n)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				// Each replay sees a consistent prefix: contiguous seqs from
+				// wherever the compaction floor was when it started.
+				prev := uint64(0)
+				if err := w.Replay(0, func(seq uint64, b Batch) error {
+					if prev != 0 && seq != prev+1 {
+						return fmt.Errorf("gap: %d after %d", seq, prev)
+					}
+					prev = seq
+					return nil
+				}); err != nil {
+					t.Errorf("replay: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	for upTo := uint64(20); upTo <= n; upTo += 20 {
+		if err := w.TruncateTo(upTo); err != nil {
+			t.Fatalf("truncate to %d: %v", upTo, err)
+		}
+	}
+	wg.Wait()
 }
 
 func TestDecodeBatchRejectsGarbage(t *testing.T) {

@@ -202,6 +202,73 @@ func TestLiveCompactionTruncatesWAL(t *testing.T) {
 	}
 }
 
+// TestLiveCompactedDoubleRestartKeepsAckedUpdates is the regression test
+// for the WAL sequence floor: compaction drains and truncates the whole
+// log, the process restarts, absorbs more acked writes, and restarts
+// again. Before the floor was persisted in the WAL header, the
+// post-restart writes were renumbered from 1 — below the snapshot's
+// sequence — and the second recovery silently dropped them.
+func TestLiveCompactedDoubleRestartKeepsAckedUpdates(t *testing.T) {
+	dir := t.TempDir()
+	base := liveBase(t)
+	n := int(base.NumVertices())
+	li := openLive(t, dir, base, func(o *equitruss.LiveOptions) { o.CompactEvery = 1 })
+	ts := liveHandler(t, li)
+	const preBatches = 3
+	for i := 0; i < preBatches; i++ {
+		resp, _ := livePost(t, ts, fmt.Sprintf(`{"ops":[{"u":%d,"v":%d}]}`, n+i, i%n))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("update %d failed: %d", i, resp.StatusCode)
+		}
+		liveWaitApplied(t, ts, uint64(i+1))
+	}
+	// Wait until the final compaction has truncated every record away (a
+	// record-free log is just the fixed-size header).
+	deadline := time.Now().Add(5 * time.Second)
+	for li.WAL.Size() > 16 {
+		if time.Now().After(deadline) {
+			t.Fatalf("WAL never fully compacted: %d bytes", li.WAL.Size())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	ts.Close()
+	li.Close()
+
+	// Restart 1: state intact, and a fresh acked write continues the
+	// sequence space instead of restarting it below the snapshot.
+	li2 := openLive(t, dir, base, nil)
+	if li2.Seq != preBatches {
+		t.Fatalf("first recovery Seq = %d, want %d", li2.Seq, preBatches)
+	}
+	ts2 := liveHandler(t, li2)
+	resp, doc := livePost(t, ts2, fmt.Sprintf(`{"ops":[{"u":%d,"v":%d}]}`, n+preBatches, 1))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-restart update failed: %d %v", resp.StatusCode, doc)
+	}
+	if got := uint64(doc["seq"].(float64)); got != preBatches+1 {
+		t.Fatalf("post-restart update seq = %d, want %d", got, preBatches+1)
+	}
+	health := liveWaitApplied(t, ts2, preBatches+1)
+	servedSums := health["checksums"].(map[string]any)
+	ts2.Close()
+	li2.Close()
+
+	// Restart 2: the write acked between the restarts must survive.
+	li3 := openLive(t, dir, base, nil)
+	defer li3.Close()
+	if li3.Seq != preBatches+1 {
+		t.Fatalf("second recovery Seq = %d, want %d (acked post-restart update dropped)", li3.Seq, preBatches+1)
+	}
+	got := li3.Index.Checksums()
+	for layer, g := range map[string]uint64{
+		"tau": got.Tau, "summary": got.Summary, "hierarchy": got.Hierarchy,
+	} {
+		if want := servedSums[layer].(string); fmt.Sprintf("%016x", g) != want {
+			t.Fatalf("%s checksum after double restart: %016x, served %s", layer, g, want)
+		}
+	}
+}
+
 // TestChaosUpdateFaultNoStateChange: an injected error on the update
 // admission path (before the WAL append) must fail that request with no
 // sequence consumed and no durable record; the next update proceeds.
