@@ -39,14 +39,15 @@ ci: serversmoke servermetrics chaos crashsafe
 	$(MAKE) benchcheck
 
 # Perf regression gate: rerun the Support kernel sweep, the query-path
-# workloads, and the peel kernel sweep and compare each cell's time —
-# normalized within the same run (Support kernels by merge, query engines by
-# indexed-bfs, peel kernels by levelsync) so absolute machine speed cancels —
-# against the committed baseline. Fails on a >20% normalized regression, and
+# workloads, the peel kernel sweep, and the live-update applier sweep and
+# compare each cell's time — normalized within the same run (Support kernels
+# by merge, query engines by indexed-bfs, peel kernels by levelsync, update
+# engines by full-rebuild) so absolute machine speed cancels — against the
+# committed baseline. Fails on a >20% normalized regression, and
 # fails loudly when a baseline row is missing. Artifacts land in bench/
 # (gitignored except the committed baseline + reference artifacts).
 benchcheck:
-	$(GO) run ./cmd/benchsuite -experiment support,query,peel -scale 0.05 -out bench/ -check bench/baseline.json
+	$(GO) run ./cmd/benchsuite -experiment support,query,peel,update -scale 0.05 -out bench/ -check bench/baseline.json
 
 # Race-enabled server smoke: 64 concurrent clients hammer one handler
 # (httptest) mixing cached singles and pooled batches, answers checked

@@ -44,8 +44,8 @@ type experiment struct {
 }
 
 type config struct {
-	scale   float64         // dataset size factor
-	maxThr  int             // top of the thread sweep
+	scale   float64          // dataset size factor
+	maxThr  int              // top of the thread sweep
 	kernel  triangle.Kernel  // Support kernel for all triangle counting
 	peel    truss.PeelKernel // TrussDecomp kernel for all peeling
 	verbose bool
@@ -79,6 +79,7 @@ var experiments = []experiment{
 	{"support", "Support kernel sweep: merge vs gallop vs oriented", runSupport, false},
 	{"peel", "Peel kernel sweep: levelsync vs serial vs pkt", runPeel, false},
 	{"query", "Query path: hierarchy vs indexed-BFS vs DirectCommunities", runQuery, false},
+	{"update", "Live update applier: incremental repair vs full rebuild", runUpdate, false},
 	{"rmat18", "RMAT scale-18 skewed graph: Support + Decompose (honors -support-kernel and -peel-kernel)", runRMAT18, true},
 }
 
@@ -223,6 +224,7 @@ type benchArtifact struct {
 	SupportBench  []supportRow       `json:"support_bench,omitempty"`
 	QueryBench    []queryRow         `json:"query_bench,omitempty"`
 	PeelBench     []peelRow          `json:"peel_bench,omitempty"`
+	UpdateBench   []updateRow        `json:"update_bench,omitempty"`
 	Counters      []obs.CounterValue `json:"counters,omitempty"`
 }
 
@@ -261,6 +263,21 @@ type peelRow struct {
 	Checksum uint64  `json:"checksum"`
 }
 
+// updateRow is one live-update applier measurement: the same deterministic
+// batch stream driven to fully-applied under one publish engine. Rows for
+// the same dataset must carry identical checksums — the engines are
+// interchangeable publish paths, only their costs differ.
+type updateRow struct {
+	Dataset         string  `json:"dataset"`
+	Engine          string  `json:"engine"`
+	Batches         int     `json:"batches"`
+	Ops             int     `json:"ops"`
+	Seconds         float64 `json:"seconds"`
+	UpdatesPerSec   float64 `json:"updates_per_sec"`
+	P95StalenessSec float64 `json:"p95_staleness_seconds"`
+	Checksum        uint64  `json:"checksum"`
+}
+
 type experimentResult struct {
 	ID      string  `json:"id"`
 	Title   string  `json:"title"`
@@ -274,7 +291,7 @@ type experimentResult struct {
 
 // latencyDoc is the per-experiment latency quantile summary in BENCH_*.json.
 type latencyDoc struct {
-	Samples    int64  `json:"samples"`
+	Samples    int64   `json:"samples"`
 	MeanSec    float64 `json:"mean_seconds"`
 	P50Seconds float64 `json:"p50_seconds"`
 	P95Seconds float64 `json:"p95_seconds"`

@@ -56,6 +56,8 @@ func runServeCtx(ctx context.Context, args []string, onListen func(net.Addr)) er
 	updateQueue := fs.Int("update-queue", 0, "acked-but-unapplied update batches before shedding with 429 (0 = default 64)")
 	maxUpdateBatch := fs.Int("max-update-batch", 0, "max edge ops per /update request (0 = default 10000)")
 	compactEvery := fs.Int("compact-every", 0, "applied update batches between snapshot+truncate compactions (0 = default 64)")
+	updateMode := fs.String("update-mode", "auto", "applier publish strategy: auto|incremental|full (auto falls back to full when the delta is large)")
+	maxDeltaFrac := fs.Float64("max-delta-frac", 0, "repair-region fraction of the graph above which auto mode falls back to a full rebuild (0 = default 0.2)")
 	fs.Parse(args)
 	// Validate the whole flag set up front, before the expensive graph load
 	// and before binding the listener: a typo'd index path or address should
@@ -103,6 +105,11 @@ func runServeCtx(ctx context.Context, args []string, onListen func(net.Addr)) er
 	if _, err := equitruss.ParseWALSyncPolicy(*walSync); err != nil {
 		return fmt.Errorf("bad -wal-sync %q (want always|interval|never)", *walSync)
 	}
+	switch *updateMode {
+	case "auto", "incremental", "full":
+	default:
+		return fmt.Errorf("bad -update-mode %q (want auto|incremental|full)", *updateMode)
+	}
 	g, err := loadGraph(*graphSpec)
 	if err != nil {
 		return err
@@ -143,6 +150,8 @@ func runServeCtx(ctx context.Context, args []string, onListen func(net.Addr)) er
 			UpdateQueueDepth: *updateQueue,
 			MaxUpdateBatch:   *maxUpdateBatch,
 			CompactEvery:     *compactEvery,
+			UpdateMode:       *updateMode,
+			MaxDeltaFrac:     *maxDeltaFrac,
 			Logger:           log,
 		})
 		if err != nil {

@@ -24,7 +24,10 @@ import (
 // crashsafe`: a real server process takes a stream of durable updates, is
 // SIGKILLed mid-stream with no warning, restarts over the same state
 // directory, and must come back serving a state bit-identical (by canonical
-// checksums) to an in-process rebuild of the same update prefix.
+// checksums) to an in-process rebuild of the same update prefix. The drill
+// runs once per applier publish strategy, so a crash landing inside an
+// incremental summary/hierarchy repair is exercised as well as one landing
+// inside a full rebuild.
 //
 // Gated behind EQUITRUSS_CRASHSAFE=1 because it builds the binary and runs
 // wall-clock phases; tier-1 `go test ./...` stays fast without it, and the
@@ -34,14 +37,22 @@ func TestCrashSafeKillMidStream(t *testing.T) {
 	if os.Getenv("EQUITRUSS_CRASHSAFE") != "1" {
 		t.Skip("set EQUITRUSS_CRASHSAFE=1 (or run `make crashsafe`) to run the kill drill")
 	}
-	dir := t.TempDir()
-	bin := filepath.Join(dir, "equitruss-bin")
+	binDir := t.TempDir()
+	bin := filepath.Join(binDir, "equitruss-bin")
 	build := exec.Command("go", "build", "-o", bin, "./cmd/equitruss")
 	build.Stderr = os.Stderr
 	if err := build.Run(); err != nil {
 		t.Fatalf("building server binary: %v", err)
 	}
+	for _, mode := range []string{"incremental", "full"} {
+		t.Run(mode, func(t *testing.T) { crashDrill(t, bin, mode) })
+	}
+}
 
+// crashDrill runs one kill-restart-verify cycle with the given applier
+// publish strategy.
+func crashDrill(t *testing.T, bin, mode string) {
+	dir := t.TempDir()
 	base := equitruss.GenerateRMAT(8, 6, 42)
 	graphPath := filepath.Join(dir, "base.txt")
 	if err := graphio.WriteEdgeListFile(graphPath, base); err != nil {
@@ -59,7 +70,8 @@ func TestCrashSafeKillMidStream(t *testing.T) {
 	start := func() *exec.Cmd {
 		cmd := exec.Command(bin, "serve",
 			"-graph", graphPath, "-wal", stateDir, "-addr", addr,
-			"-variant", "afforest", "-threads", "2", "-compact-every", "3")
+			"-variant", "afforest", "-threads", "2", "-compact-every", "3",
+			"-update-mode", mode)
 		cmd.Stderr = os.Stderr
 		if err := cmd.Start(); err != nil {
 			t.Fatalf("starting server: %v", err)
@@ -161,7 +173,7 @@ stream:
 	if maxAcked == 0 {
 		t.Fatal("no batch was acked before the kill — nothing to verify")
 	}
-	t.Logf("killed after %d acked batches", maxAcked)
+	t.Logf("mode %s: killed after %d acked batches", mode, maxAcked)
 
 	// Restart over the same state directory.
 	cmd2 := start()

@@ -30,6 +30,19 @@ type Graph struct {
 	adj []map[int32]struct{} // adjacency sets, grown on demand
 	tau map[uint64]int32     // canonical packed edge -> trussness
 	m   int64
+
+	// Delta accumulators, nil unless TrackDeltas(true) was called. They
+	// record, since the last ResetDelta, which edges appeared (insAcc),
+	// disappeared (delAcc), had a trussness value committed that differs
+	// from the stored one (chAcc), or were triangle partners of a deleted
+	// edge at delete time (touchAcc — the only moment those triangles are
+	// still observable). Raw accumulators may overlap across an op
+	// sequence (delete-then-insert, insert-then-delete); Delta reconciles
+	// them against the final state.
+	insAcc   map[uint64]struct{}
+	delAcc   map[uint64]struct{}
+	chAcc    map[uint64]struct{}
+	touchAcc map[uint64]struct{}
 }
 
 func pack(u, v int32) uint64 {
@@ -146,6 +159,17 @@ func (dg *Graph) InsertEdge(u, v int32) (bool, error) {
 	dg.ensure(v)
 	dg.link(u, v)
 	dg.m++
+	if dg.insAcc != nil {
+		if _, wasDeleted := dg.delAcc[key]; wasDeleted {
+			// Re-insert of an edge deleted earlier in the same delta window:
+			// it existed at window start and exists now — a change, not an
+			// insert (its commit below lands in chAcc via lowerToFixpoint).
+			delete(dg.delAcc, key)
+			dg.chAcc[key] = struct{}{}
+		} else {
+			dg.insAcc[key] = struct{}{}
+		}
+	}
 
 	// Upper bound for the new edge: the largest k such that at least k-2
 	// of its triangles have min(partner τ)+1 >= k (partners may themselves
@@ -205,6 +229,20 @@ func (dg *Graph) DeleteEdge(u, v int32) bool {
 	dg.unlink(u, v)
 	delete(dg.tau, key)
 	dg.m--
+	if dg.delAcc != nil {
+		if _, wasInserted := dg.insAcc[key]; wasInserted {
+			// Insert-then-delete inside one window nets out to no edge.
+			delete(dg.insAcc, key)
+		} else {
+			dg.delAcc[key] = struct{}{}
+		}
+		delete(dg.chAcc, key)
+		// The deleted edge's triangles are gone after unlink; its partners
+		// lose a witness even when their trussness does not move.
+		for _, s := range seeds {
+			dg.touchAcc[s] = struct{}{}
+		}
+	}
 	for _, s := range seeds {
 		pending[s] = dg.tau[s]
 	}
@@ -298,6 +336,11 @@ func (dg *Graph) lowerToFixpoint(pending map[uint64]int32) {
 		})
 	}
 	for e, t := range pending {
+		if dg.chAcc != nil {
+			if old, ok := dg.tau[e]; !ok || old != t {
+				dg.chAcc[e] = struct{}{}
+			}
+		}
 		dg.tau[e] = t
 	}
 }
@@ -322,7 +365,123 @@ func (dg *Graph) ToStatic() (*graph.Graph, []int32, error) {
 	return g, tau, nil
 }
 
+// Delta describes the net effect of the operations applied since the last
+// ResetDelta, in terms of canonically packed edge keys (Pack/Unpack). It is
+// exactly the input the incremental summary-graph repair needs: which edges
+// appeared, which disappeared, which survivors carry a different trussness,
+// and which survivors lost a triangle to a deletion without moving.
+type Delta struct {
+	// Changed maps pre-existing surviving edges whose trussness differs
+	// (or may differ — delete/re-insert cycles are reported conservatively)
+	// from the window start to their current trussness.
+	Changed map[uint64]int32
+	// Inserted maps edges absent at window start and present now to their
+	// current trussness.
+	Inserted map[uint64]int32
+	// Deleted holds edges present at window start and absent now.
+	Deleted map[uint64]struct{}
+	// Touched holds surviving pre-existing edges that were triangle
+	// partners of a deleted edge at delete time: their trussness may be
+	// unchanged, but their triangle set — and therefore the superedge
+	// witnesses around them — changed. Disjoint from Changed and Inserted.
+	Touched map[uint64]struct{}
+	// NumVertices is the vertex-ID space size after the window, which can
+	// exceed the largest surviving endpoint when an insert that grew the
+	// space was later deleted.
+	NumVertices int32
+}
+
+// Size returns the number of distinct edges named by the delta.
+func (d Delta) Size() int {
+	return len(d.Changed) + len(d.Inserted) + len(d.Deleted) + len(d.Touched)
+}
+
+// Empty reports whether the delta names no edges at all.
+func (d Delta) Empty() bool { return d.Size() == 0 }
+
+// Pack returns the canonical packed key for an edge, the key space Delta
+// maps are indexed by.
+func Pack(u, v int32) uint64 { return pack(u, v) }
+
+// Unpack splits a packed key into its (low, high) endpoints.
+func Unpack(p uint64) (u, v int32) { return unpack(p) }
+
+// TrackDeltas enables (or disables) delta accumulation. Disabled graphs pay
+// nothing per update; enabling starts an empty window. The live applier
+// enables tracking once at startup — recovery replay runs untracked.
+func (dg *Graph) TrackDeltas(on bool) {
+	if !on {
+		dg.insAcc, dg.delAcc, dg.chAcc, dg.touchAcc = nil, nil, nil, nil
+		return
+	}
+	if dg.insAcc == nil {
+		dg.resetAccumulators()
+	}
+}
+
+// Tracking reports whether delta accumulation is enabled.
+func (dg *Graph) Tracking() bool { return dg.insAcc != nil }
+
+func (dg *Graph) resetAccumulators() {
+	dg.insAcc = make(map[uint64]struct{})
+	dg.delAcc = make(map[uint64]struct{})
+	dg.chAcc = make(map[uint64]struct{})
+	dg.touchAcc = make(map[uint64]struct{})
+}
+
+// Delta reconciles the raw accumulators against the current state and
+// returns the net delta for the open window. It does not close the window —
+// call ResetDelta once the delta has been durably consumed, so a failed
+// consumer retry sees the union of both windows.
+func (dg *Graph) Delta() Delta {
+	d := Delta{
+		Changed:     make(map[uint64]int32, len(dg.chAcc)),
+		Inserted:    make(map[uint64]int32, len(dg.insAcc)),
+		Deleted:     make(map[uint64]struct{}, len(dg.delAcc)),
+		Touched:     make(map[uint64]struct{}, len(dg.touchAcc)),
+		NumVertices: dg.NumVertices(),
+	}
+	for k := range dg.insAcc {
+		d.Inserted[k] = dg.tau[k]
+	}
+	for k := range dg.delAcc {
+		d.Deleted[k] = struct{}{}
+	}
+	for k := range dg.chAcc {
+		if _, ins := dg.insAcc[k]; ins {
+			continue // an insert's own fixpoint commit, already in Inserted
+		}
+		if t, ok := dg.tau[k]; ok {
+			d.Changed[k] = t
+		}
+		// else: changed then deleted — Deleted already covers it.
+	}
+	for k := range dg.touchAcc {
+		if _, ok := dg.tau[k]; !ok {
+			continue // partner itself deleted later in the window
+		}
+		if _, ins := dg.insAcc[k]; ins {
+			continue
+		}
+		if _, ch := d.Changed[k]; ch {
+			continue
+		}
+		d.Touched[k] = struct{}{}
+	}
+	return d
+}
+
+// ResetDelta closes the current window, discarding the accumulators. No-op
+// when tracking is disabled.
+func (dg *Graph) ResetDelta() {
+	if dg.insAcc != nil {
+		dg.resetAccumulators()
+	}
+}
+
 // TauSnapshot returns a copy of the edge→trussness mapping (packed keys).
+// It is an O(m) map copy kept for tests and differential oracles; the live
+// applier consumes Delta instead, whose cost scales with the batch.
 func (dg *Graph) TauSnapshot() map[uint64]int32 {
 	out := make(map[uint64]int32, len(dg.tau))
 	for k, v := range dg.tau {

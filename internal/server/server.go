@@ -741,6 +741,16 @@ func (s *Server) instanceGauges() []obs.GaugeValue {
 			obs.GaugeValue{Name: "server_inflight_limit", Help: "admission limit on concurrent query requests", Value: float64(cap(s.inflight))},
 		)
 	}
+	if m := s.live; m != nil {
+		acked, applied := m.ackedSeq.Load(), m.appliedSeq.Load()
+		gauges = append(gauges,
+			obs.GaugeValue{Name: "server_update_acked_seq", Help: "last WAL sequence durably acked to writers", Value: float64(acked)},
+			obs.GaugeValue{Name: "server_update_applied_seq", Help: "last WAL sequence reflected in the serving epoch", Value: float64(applied)},
+			obs.GaugeValue{Name: "server_update_staleness", Help: "update batches acked but not yet serving (acked - applied)", Value: float64(acked - applied)},
+			obs.GaugeValue{Name: "server_update_queue_depth", Help: "acked update batches waiting for the applier", Value: float64(len(m.queue))},
+			obs.GaugeValue{Name: "server_update_queue_capacity", Help: "update queue capacity before 429 shedding", Value: float64(cap(m.queue))},
+		)
+	}
 	return gauges
 }
 

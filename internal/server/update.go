@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"log/slog"
 	"math"
+	"math/rand"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -22,10 +23,27 @@ import (
 	"equitruss/internal/wal"
 )
 
-// siteUpdate is the fault-injection site on the update admission path,
-// between the queue-capacity check and the WAL append: an injected error
-// here must fail the request with no WAL record and no state change.
+// siteUpdate is the fault-injection site on the update path. It is hit
+// twice per batch lifecycle: once at admission (between the queue-capacity
+// check and the WAL append — an injected error there must fail the request
+// with no WAL record and no state change) and once at the top of each
+// rebuild attempt (an injected error there must leave the mutations in Dyn
+// unpublished and trigger the backoff-retry loop).
 const siteUpdate = "server.update"
+
+// Applier modes: how the applier turns applied batches into new epochs.
+const (
+	// UpdateModeAuto repairs the index incrementally from the batch delta
+	// and falls back to a full rebuild when the repair region exceeds
+	// MaxDeltaFrac of the graph (or the repair fails). The default.
+	UpdateModeAuto = "auto"
+	// UpdateModeIncremental always attempts the incremental repair with no
+	// region budget, falling back to full only on repair errors.
+	UpdateModeIncremental = "incremental"
+	// UpdateModeFull rebuilds the summary graph and hierarchy from scratch
+	// after every drain, as PR 8 did.
+	UpdateModeFull = "full"
+)
 
 var (
 	cUpdateRequests = obs.GetCounter("server_update_requests",
@@ -35,13 +53,21 @@ var (
 	cUpdateShed = obs.GetCounter("server_update_shed",
 		"POST /update requests rejected with 429 because the update queue was full")
 	cUpdateRebuildErrors = obs.GetCounter("server_update_rebuild_errors",
-		"index rebuilds that failed after applying a batch (retried with the next batch)")
+		"index rebuilds that failed after applying a batch (retried with backoff)")
+	cUpdateIncrApplies = obs.GetCounter("server_update_incremental_applies",
+		"applier drains published by incremental summary/hierarchy repair")
+	cUpdateFullRebuilds = obs.GetCounter("server_update_full_rebuilds",
+		"applier drains published by a from-scratch summary/hierarchy rebuild")
+	cUpdateIncrFallbacks = obs.GetCounter("server_update_incremental_fallbacks",
+		"incremental repairs abandoned for a full rebuild (region too large or repair error)")
 	cUpdateSnapshotErrors = obs.GetCounter("server_update_snapshot_errors",
 		"compaction snapshots that failed to write (WAL kept instead)")
 	cApplierPanics = obs.GetCounter("server_applier_panics",
 		"update-applier panics that switched the server to degraded read-only mode")
 	hUpdate = obs.GetHistogram("server_update_request",
 		"POST /update request latency (ack, not apply)")
+	hRebuild = obs.GetHistogram("server_applier_rebuild",
+		"applier rebuild latency per drain (delta repair or full rebuild, through epoch publish)")
 )
 
 // LiveConfig attaches a durable update pipeline to a pending server. The
@@ -71,6 +97,18 @@ type LiveConfig struct {
 	// summary construction reruns).
 	Variant core.Variant
 	Threads int
+	// Mode selects how applied batches become epochs: UpdateModeAuto
+	// (default), UpdateModeIncremental, or UpdateModeFull.
+	Mode string
+	// MaxDeltaFrac bounds the incremental repair region as a fraction of
+	// the edge count in auto mode; a larger delta falls back to a full
+	// rebuild. 0 selects the default (0.2).
+	MaxDeltaFrac float64
+	// RebuildBackoff and RebuildBackoffMax shape the jittered exponential
+	// backoff between retries of a failed rebuild. Zero values select the
+	// defaults (50ms base, 5s cap).
+	RebuildBackoff    time.Duration
+	RebuildBackoffMax time.Duration
 	// SnapshotPath, when non-empty, enables compaction: every CompactEvery
 	// applied batches the applier writes a snapshot there and truncates the
 	// WAL to the records past it.
@@ -89,8 +127,11 @@ type LiveConfig struct {
 }
 
 const (
-	defaultQueueDepth   = 64
-	defaultCompactEvery = 64
+	defaultQueueDepth        = 64
+	defaultCompactEvery      = 64
+	defaultMaxDeltaFrac      = 0.2
+	defaultRebuildBackoff    = 50 * time.Millisecond
+	defaultRebuildBackoffMax = 5 * time.Second
 
 	// updateOpJSONBytes is the body-size budget per operation when capping
 	// POST /update reads: a fully spelled-out op ({"op":"delete","u":…,"v":…}
@@ -139,6 +180,11 @@ type mutator struct {
 	appliedSeq atomic.Uint64 // last sequence reflected in the published epoch
 	brokenMsg  atomic.Pointer[string]
 
+	// maint tracks the published index for incremental repair; owned by the
+	// applier goroutine. Nil until the first epoch matching the delta
+	// window's base is seen (or after construction, lazily).
+	maint *community.Maintainer
+
 	cancel context.CancelFunc
 	done   chan struct{}
 }
@@ -177,8 +223,34 @@ func (s *Server) EnableUpdates(cfg LiveConfig) error {
 	if cfg.CompactEvery <= 0 {
 		cfg.CompactEvery = defaultCompactEvery
 	}
+	switch cfg.Mode {
+	case "":
+		cfg.Mode = UpdateModeAuto
+	case UpdateModeAuto, UpdateModeIncremental, UpdateModeFull:
+	default:
+		return fmt.Errorf("server: unknown update mode %q (want %s, %s, or %s)",
+			cfg.Mode, UpdateModeAuto, UpdateModeIncremental, UpdateModeFull)
+	}
+	if cfg.MaxDeltaFrac <= 0 {
+		cfg.MaxDeltaFrac = defaultMaxDeltaFrac
+	}
+	if cfg.RebuildBackoff <= 0 {
+		cfg.RebuildBackoff = defaultRebuildBackoff
+	}
+	if cfg.RebuildBackoffMax <= 0 {
+		cfg.RebuildBackoffMax = defaultRebuildBackoffMax
+	}
+	if cfg.RebuildBackoffMax < cfg.RebuildBackoff {
+		cfg.RebuildBackoffMax = cfg.RebuildBackoff
+	}
 	if cfg.Logger == nil {
 		cfg.Logger = olog.L()
+	}
+	if cfg.Mode != UpdateModeFull {
+		// Open the delta window now, before any update can be admitted, so
+		// the first incremental repair sees exactly the ops since the first
+		// published epoch.
+		cfg.Dyn.TrackDeltas(true)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &mutator{
@@ -239,17 +311,8 @@ func (m *mutator) run(ctx context.Context) {
 				drained = true
 			}
 		}
-		if err := m.rebuild(ctx, last); err != nil {
-			if ctx.Err() != nil {
-				return
-			}
-			// The mutations are in Dyn but unpublished; the next batch's
-			// rebuild includes them. Staleness (acked - applied) grows
-			// until a rebuild succeeds, which /healthz surfaces.
-			cUpdateRebuildErrors.Inc()
-			m.cfg.Logger.Error("index rebuild failed; retrying with next batch",
-				slog.Any("err", err), slog.Uint64("seq", last))
-			continue
+		if !m.rebuildWithRetry(ctx, &last) {
+			return
 		}
 		batchesSinceCompact++
 		if m.cfg.SnapshotPath != "" && batchesSinceCompact >= m.cfg.CompactEvery {
@@ -278,9 +341,64 @@ func (m *mutator) applyOps(b updateBatch) uint64 {
 	return b.seq
 }
 
-// rebuild reconstructs the summary graph and hierarchy from the maintained
-// trussness (no re-peeling) and publishes the result as a new epoch.
+// rebuildWithRetry drives rebuild to success with capped, jittered
+// exponential backoff: a persistently failing rebuild sleeps instead of
+// spinning the applier hot, and batches acked during the backoff are folded
+// into the retry so the eventual publish covers them too. While the applier
+// sleeps the queue fills and admission sheds with 429 — exactly the
+// backpressure the write path already advertises. Returns false only when
+// the context ended.
+func (m *mutator) rebuildWithRetry(ctx context.Context, last *uint64) bool {
+	backoff := m.cfg.RebuildBackoff
+	for {
+		err := m.rebuild(ctx, *last)
+		if err == nil {
+			return true
+		}
+		if ctx.Err() != nil {
+			return false
+		}
+		cUpdateRebuildErrors.Inc()
+		// Sleep a uniformly jittered duration in [backoff/2, backoff] so
+		// co-failing appliers (or a failing dependency) don't see retries in
+		// lockstep.
+		sleep := backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1))
+		m.cfg.Logger.Error("index rebuild failed; backing off",
+			slog.Any("err", err), slog.Uint64("seq", *last), slog.Duration("backoff", sleep))
+		timer := time.NewTimer(sleep)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return false
+		case <-timer.C:
+		}
+		for drained := false; !drained; {
+			select {
+			case b := <-m.queue:
+				*last = m.applyOps(b)
+			default:
+				drained = true
+			}
+		}
+		if backoff *= 2; backoff > m.cfg.RebuildBackoffMax {
+			backoff = m.cfg.RebuildBackoffMax
+		}
+	}
+}
+
+// rebuild turns the applied mutations into a new published epoch: an
+// incremental summary/hierarchy repair from the batch delta when the mode
+// allows it, a from-scratch rebuild from the maintained trussness (no
+// re-peeling) otherwise or on fallback.
 func (m *mutator) rebuild(ctx context.Context, seq uint64) error {
+	if err := faults.Inject(siteUpdate); err != nil {
+		return err
+	}
+	start := time.Now()
+	defer func() { hRebuild.Observe(time.Since(start)) }()
+	if m.cfg.Mode != UpdateModeFull && m.tryIncremental(seq) {
+		return nil
+	}
 	g, tau, err := m.cfg.Dyn.ToStatic()
 	if err != nil {
 		return err
@@ -289,9 +407,62 @@ func (m *mutator) rebuild(ctx context.Context, seq uint64) error {
 	if err != nil {
 		return err
 	}
-	m.s.Publish(community.NewIndex(g, sg), seq)
+	idx := community.NewIndex(g, sg)
+	m.s.Publish(idx, seq)
 	m.appliedSeq.Store(seq)
+	cUpdateFullRebuilds.Inc()
+	if m.cfg.Dyn.Tracking() {
+		// The published epoch is the new delta base: close the window and
+		// repoint the maintainer so the next drain can repair incrementally.
+		m.cfg.Dyn.ResetDelta()
+		m.maint = community.NewMaintainer(idx)
+	}
 	return nil
+}
+
+// tryIncremental attempts the delta repair and publishes on success. Any
+// failure (region over budget in auto mode, or a repair invariant error)
+// reports false and the caller falls back to the full rebuild — the delta
+// window stays open until some publish succeeds, so no change is lost.
+func (m *mutator) tryIncremental(seq uint64) bool {
+	if m.maint == nil {
+		// First drain since enabling: adopt the first published epoch as the
+		// repair base — valid only if it matches the delta window's base
+		// sequence exactly.
+		if ep := m.s.epoch(); ep != nil && ep.seq == m.appliedSeq.Load() {
+			m.maint = community.NewMaintainer(ep.idx)
+		} else {
+			return false
+		}
+	}
+	budget := 0.0 // incremental mode: no region budget
+	if m.cfg.Mode == UpdateModeAuto {
+		budget = m.cfg.MaxDeltaFrac
+	}
+	delta := community.EdgeDelta(m.cfg.Dyn.Delta())
+	idx, stats, err := m.maint.Apply(delta, budget)
+	if err != nil {
+		cUpdateIncrFallbacks.Inc()
+		if errors.Is(err, community.ErrDeltaTooLarge) {
+			m.cfg.Logger.Info("delta region over budget; full rebuild",
+				slog.Uint64("seq", seq), slog.Int("delta_edges", delta.Size()))
+		} else {
+			m.cfg.Logger.Warn("incremental repair failed; falling back to full rebuild",
+				slog.Any("err", err), slog.Uint64("seq", seq))
+		}
+		return false
+	}
+	m.s.Publish(idx, seq)
+	m.appliedSeq.Store(seq)
+	m.cfg.Dyn.ResetDelta()
+	cUpdateIncrApplies.Inc()
+	m.cfg.Logger.Debug("incremental repair published",
+		slog.Uint64("seq", seq),
+		slog.Int("region_edges", stats.RegionEdges),
+		slog.Int("dirty_supernodes", stats.DirtySupernodes),
+		slog.Int("kept_nodes", stats.KeptNodes),
+		slog.Int("rebuilt_nodes", stats.RebuiltNodes))
+	return true
 }
 
 // compact writes a snapshot of the applied state and truncates the WAL to

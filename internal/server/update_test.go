@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -453,5 +454,156 @@ func TestUpdatePanicFaultRecovered(t *testing.T) {
 	resp, doc := postUpdate(t, ts, `{"ops":[{"u":5,"v":0}]}`)
 	if resp.StatusCode != http.StatusOK || doc["seq"].(float64) != 1 {
 		t.Fatalf("update after panic: status %d %v", resp.StatusCode, doc)
+	}
+}
+
+// TestUpdateModesConvergeDifferential drives the identical update stream
+// through a full-rebuild applier, a pure incremental applier, and the auto
+// mode, and asserts all three publish bit-identical state (all three
+// checksum layers) after every batch — the server-level statement of the
+// incremental-repair correctness gate.
+func TestUpdateModesConvergeDifferential(t *testing.T) {
+	type liveServer struct {
+		mode string
+		ts   *httptest.Server
+	}
+	servers := make([]liveServer, 0, 3)
+	for _, mode := range []string{UpdateModeFull, UpdateModeIncremental, UpdateModeAuto} {
+		_, ts := newLiveServer(t, "rmat", func(lc *LiveConfig) { lc.Mode = mode })
+		servers = append(servers, liveServer{mode, ts})
+	}
+	incrBefore := cUpdateIncrApplies.Value()
+	// A deterministic mix of inserts (some closing new triangles, some new
+	// vertices) and deletes of base edges.
+	n := 1 << 8 // RMAT scale 8
+	for batch := 1; batch <= 6; batch++ {
+		body := fmt.Sprintf(
+			`{"ops":[{"u":%d,"v":%d},{"u":%d,"v":%d},{"op":"delete","u":%d,"v":%d},{"u":%d,"v":%d}]}`,
+			n+batch, (3*batch)%n, n+batch, (3*batch+1)%n,
+			(7*batch)%n, (11*batch+2)%n,
+			(5*batch)%n, (13*batch+1)%n)
+		var sums map[string]any
+		for _, sv := range servers {
+			resp, doc := postUpdate(t, sv.ts, body)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("mode %s batch %d: status %d: %v", sv.mode, batch, resp.StatusCode, doc)
+			}
+			health := waitApplied(t, sv.ts, uint64(batch))
+			got := health["checksums"].(map[string]any)
+			if sums == nil {
+				sums = got
+				continue
+			}
+			for _, layer := range []string{"tau", "summary", "hierarchy"} {
+				if got[layer] != sums[layer] {
+					t.Fatalf("mode %s batch %d: %s checksum %v != full-rebuild %v",
+						sv.mode, batch, layer, got[layer], sums[layer])
+				}
+			}
+		}
+	}
+	if cUpdateIncrApplies.Value() == incrBefore {
+		t.Fatal("no batch was published via the incremental path")
+	}
+}
+
+// TestChaosRebuildBackoffRetries: an error injected at the rebuild attempt
+// (second hit of the server.update site — the first is admission) must not
+// lose the batch: the applier backs off, retries, and publishes. The
+// rebuild-error counter and the fault accounting prove the failure and the
+// retry both happened.
+func TestChaosRebuildBackoffRetries(t *testing.T) {
+	_, ts := newLiveServer(t, "clique", func(lc *LiveConfig) {
+		lc.RebuildBackoff = 2 * time.Millisecond
+		lc.RebuildBackoffMax = 10 * time.Millisecond
+	})
+	faults.Enable(1)
+	defer faults.Disable()
+	errsBefore := cUpdateRebuildErrors.Value()
+	faults.Set(siteUpdate, faults.Plan{Action: faults.Error, Every: 2, MaxFires: 1})
+	resp, doc := postUpdate(t, ts, `{"ops":[{"u":5,"v":0},{"u":5,"v":1}]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("update status %d: %v", resp.StatusCode, doc)
+	}
+	health := waitApplied(t, ts, 1)
+	if health["staleness"].(float64) != 0 {
+		t.Fatalf("staleness after retry: %v", health["staleness"])
+	}
+	if fires := faults.Fires(siteUpdate); fires != 1 {
+		t.Fatalf("fault fired %d times, want exactly 1 (at the rebuild attempt)", fires)
+	}
+	if hits := faults.Hits(siteUpdate); hits < 3 {
+		t.Fatalf("site hit %d times, want >= 3 (admission, failed rebuild, retried rebuild)", hits)
+	}
+	if got := cUpdateRebuildErrors.Value(); got != errsBefore+1 {
+		t.Fatalf("rebuild-error counter moved by %d, want 1", got-errsBefore)
+	}
+	// The published state must match what a clean server reaches.
+	_, clean := newLiveServer(t, "clique", nil)
+	resp, _ = postUpdate(t, clean, `{"ops":[{"u":5,"v":0},{"u":5,"v":1}]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatal("clean update failed")
+	}
+	want := waitApplied(t, clean, 1)["checksums"].(map[string]any)
+	got := health["checksums"].(map[string]any)
+	for _, layer := range []string{"tau", "summary", "hierarchy"} {
+		if got[layer] != want[layer] {
+			t.Fatalf("%s checksum after faulted retry %v != clean %v", layer, got[layer], want[layer])
+		}
+	}
+}
+
+// TestUpdateMetricsExposition is the regression test for the write-path
+// observability satellite: staleness and sequence gauges plus the applier
+// rebuild histogram must appear in the Prometheus exposition.
+func TestUpdateMetricsExposition(t *testing.T) {
+	_, ts := newLiveServer(t, "clique", nil)
+	resp, _ := postUpdate(t, ts, `{"ops":[{"u":5,"v":0}]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("update status %d", resp.StatusCode)
+	}
+	waitApplied(t, ts, 1)
+	raw, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(raw.Body)
+	raw.Body.Close()
+	metrics := buf.String()
+	for _, want := range []string{
+		"# TYPE equitruss_server_update_staleness gauge",
+		"equitruss_server_update_acked_seq 1",
+		"equitruss_server_update_applied_seq 1",
+		"equitruss_server_update_staleness 0",
+		"equitruss_server_update_queue_capacity",
+		"# TYPE equitruss_server_applier_rebuild_seconds histogram",
+		"equitruss_server_applier_rebuild_seconds_count",
+		"equitruss_server_update_incremental_applies",
+		"equitruss_server_update_full_rebuilds",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestEnableUpdatesRejectsUnknownMode: a typo'd mode fails fast instead of
+// silently selecting a default.
+func TestEnableUpdatesRejectsUnknownMode(t *testing.T) {
+	g := gen.Clique(5)
+	sup := triangle.Supports(g, 1)
+	tau, _ := truss.DecomposeSerial(g, sup)
+	sg, _ := core.Build(g, tau, core.VariantSerial, 1)
+	w, err := wal.Open(filepath.Join(t.TempDir(), "wal.log"), wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	s := NewPending(Config{})
+	s.Publish(community.NewIndex(g, sg), 0)
+	defer s.Close()
+	if err := s.EnableUpdates(LiveConfig{WAL: w, Dyn: dynamic.FromStatic(g, tau), Mode: "fastest"}); err == nil {
+		t.Fatal("unknown update mode accepted")
 	}
 }

@@ -70,6 +70,15 @@ type LiveOptions struct {
 	// CompactEvery is the number of applied batches between snapshot +
 	// WAL-truncate compactions; 0 selects the default (64).
 	CompactEvery int
+	// UpdateMode selects how the applier publishes applied batches:
+	// "incremental" repairs the summary graph and hierarchy from the batch
+	// delta, "full" rebuilds them from scratch, and "auto" (the default)
+	// repairs incrementally with a fallback to full rebuild when the delta
+	// region exceeds MaxDeltaFrac of the graph.
+	UpdateMode string
+	// MaxDeltaFrac bounds the incremental repair region as a fraction of
+	// the edge count in auto mode; 0 selects the default (0.2).
+	MaxDeltaFrac float64
 	// Logger receives recovery and applier records; nil selects the
 	// process-wide default.
 	Logger *slog.Logger
@@ -237,6 +246,8 @@ func (li *LiveIndex) liveConfig() server.LiveConfig {
 		Threads:      li.opt.Threads,
 		SnapshotPath: li.snapshotPath,
 		CompactEvery: li.opt.CompactEvery,
+		Mode:         li.opt.UpdateMode,
+		MaxDeltaFrac: li.opt.MaxDeltaFrac,
 		Logger:       li.opt.Logger,
 	}
 }
