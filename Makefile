@@ -8,7 +8,7 @@ GO ?= go
 REV ?= $(shell git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)
 LDFLAGS := -X equitruss/internal/buildinfo.revision=$(REV)
 
-.PHONY: all build test race bench benchcheck repro examples ci serversmoke servermetrics chaos crashsafe clean
+.PHONY: all build test race bench benchcheck repro examples ci serversmoke servermetrics chaos crashsafe coldstart clean
 
 all: build test
 
@@ -25,7 +25,7 @@ race:
 # scanner is installed), build, full tests, the race-detector subset
 # covering the shared-state hot spots (schedulers, connected components,
 # the query server), and the chaos suite.
-ci: serversmoke servermetrics chaos crashsafe
+ci: serversmoke servermetrics chaos crashsafe coldstart
 	$(GO) vet ./...
 	@if command -v govulncheck >/dev/null 2>&1; then \
 		govulncheck ./...; \
@@ -39,15 +39,16 @@ ci: serversmoke servermetrics chaos crashsafe
 	$(MAKE) benchcheck
 
 # Perf regression gate: rerun the Support kernel sweep, the query-path
-# workloads, the peel kernel sweep, and the live-update applier sweep and
-# compare each cell's time — normalized within the same run (Support kernels
-# by merge, query engines by indexed-bfs, peel kernels by levelsync, update
-# engines by full-rebuild) so absolute machine speed cancels — against the
-# committed baseline. Fails on a >20% normalized regression, and
+# workloads, the peel kernel sweep, the live-update applier sweep, and the
+# cold-start loader sweep and compare each cell's time — normalized within
+# the same run (Support kernels by merge, query engines by indexed-bfs, peel
+# kernels by levelsync, update engines by full-rebuild, mmap loaders by
+# v2-decode) so absolute machine speed cancels — against the committed
+# baseline. Fails on a >20% normalized regression, and
 # fails loudly when a baseline row is missing. Artifacts land in bench/
 # (gitignored except the committed baseline + reference artifacts).
 benchcheck:
-	$(GO) run ./cmd/benchsuite -experiment support,query,peel,update -scale 0.05 -out bench/ -check bench/baseline.json
+	$(GO) run ./cmd/benchsuite -experiment support,query,peel,update,coldstart -scale 0.05 -out bench/ -check bench/baseline.json
 
 # Race-enabled server smoke: 64 concurrent clients hammer one handler
 # (httptest) mixing cached singles and pooled batches, answers checked
@@ -79,6 +80,16 @@ chaos:
 crashsafe:
 	EQUITRUSS_CRASHSAFE=1 $(GO) test -race -run 'TestCrashSafeKillMidStream|TestLive' .
 	$(GO) test -race ./internal/wal ./internal/dynamic
+
+# Cold-start drill, race-enabled: builds the real binary, writes a v3 index
+# with `equitruss build -format v3`, serves it from a zero-copy mmap with
+# lazy verification, SIGKILLs the server with the mapping live, restarts
+# over the same file with eager verification, and differential-verifies both
+# processes' serving checksums (from /healthz) against an independent
+# in-process rebuild. Also runs the mmap/heap loader equivalence suite.
+coldstart:
+	EQUITRUSS_COLDSTART=1 $(GO) test -race -run 'TestColdstart' .
+	$(GO) test -race ./internal/mmapio ./internal/graphio
 
 # One benchmark per paper table/figure plus ablations (bench_test.go).
 bench:

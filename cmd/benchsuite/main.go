@@ -81,6 +81,7 @@ var experiments = []experiment{
 	{"query", "Query path: hierarchy vs indexed-BFS vs DirectCommunities", runQuery, false},
 	{"update", "Live update applier: incremental repair vs full rebuild", runUpdate, false},
 	{"rmat18", "RMAT scale-18 skewed graph: Support + Decompose (honors -support-kernel and -peel-kernel)", runRMAT18, true},
+	{"coldstart", "Cold start: v2 decode vs v3 mmap, index file to first community answer", runColdstart, true},
 }
 
 func main() {
@@ -212,20 +213,35 @@ func gitRev() string {
 // written as BENCH_<timestamp>.json so perf trajectories can be compared
 // across commits without scraping stdout.
 type benchArtifact struct {
-	Timestamp     string             `json:"timestamp"`
-	GitRev        string             `json:"git_rev"`
-	CPUs          int                `json:"cpus"`
-	GOMAXPROCS    int                `json:"gomaxprocs"`
-	Scale         float64            `json:"scale"`
-	MaxThreads    int                `json:"max_threads"`
-	SupportKernel string             `json:"support_kernel"`
-	PeelKernel    string             `json:"peel_kernel,omitempty"`
-	Experiments   []experimentResult `json:"experiments"`
-	SupportBench  []supportRow       `json:"support_bench,omitempty"`
-	QueryBench    []queryRow         `json:"query_bench,omitempty"`
-	PeelBench     []peelRow          `json:"peel_bench,omitempty"`
-	UpdateBench   []updateRow        `json:"update_bench,omitempty"`
-	Counters      []obs.CounterValue `json:"counters,omitempty"`
+	Timestamp      string             `json:"timestamp"`
+	GitRev         string             `json:"git_rev"`
+	CPUs           int                `json:"cpus"`
+	GOMAXPROCS     int                `json:"gomaxprocs"`
+	Scale          float64            `json:"scale"`
+	MaxThreads     int                `json:"max_threads"`
+	SupportKernel  string             `json:"support_kernel"`
+	PeelKernel     string             `json:"peel_kernel,omitempty"`
+	Experiments    []experimentResult `json:"experiments"`
+	SupportBench   []supportRow       `json:"support_bench,omitempty"`
+	QueryBench     []queryRow         `json:"query_bench,omitempty"`
+	PeelBench      []peelRow          `json:"peel_bench,omitempty"`
+	UpdateBench    []updateRow        `json:"update_bench,omitempty"`
+	ColdstartBench []coldstartRow     `json:"coldstart_bench,omitempty"`
+	Counters       []obs.CounterValue `json:"counters,omitempty"`
+}
+
+// coldstartRow is one timed open→first-answer measurement for one index
+// loader. Rows for the same dataset must carry identical checksums — the
+// loaders are interchangeable ways to get the same index serving, only
+// their costs differ.
+type coldstartRow struct {
+	Dataset    string  `json:"dataset"`
+	Loader     string  `json:"loader"`
+	Seconds    float64 `json:"seconds"`
+	IndexBytes int64   `json:"index_bytes"`
+	MmapBytes  int64   `json:"mmap_bytes"`
+	HeapBytes  int64   `json:"heap_bytes"`
+	Checksum   uint64  `json:"checksum"`
 }
 
 // supportRow is one timed Support-stage measurement: a (dataset, kernel)

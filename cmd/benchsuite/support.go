@@ -164,8 +164,9 @@ func checkAgainstBaseline(path string, art *benchArtifact) error {
 	if err := json.Unmarshal(raw, &base); err != nil {
 		return fmt.Errorf("parse %s: %w", path, err)
 	}
-	if len(art.SupportBench) == 0 && len(art.QueryBench) == 0 && len(art.PeelBench) == 0 && len(art.UpdateBench) == 0 {
-		return fmt.Errorf("current run produced no support_bench, query_bench, peel_bench, or update_bench rows (run -experiment support,query,peel,update)")
+	if len(art.SupportBench) == 0 && len(art.QueryBench) == 0 && len(art.PeelBench) == 0 &&
+		len(art.UpdateBench) == 0 && len(art.ColdstartBench) == 0 {
+		return fmt.Errorf("current run produced no support_bench, query_bench, peel_bench, update_bench, or coldstart_bench rows (run -experiment support,query,peel,update,coldstart)")
 	}
 	checked := 0
 	if len(art.SupportBench) > 0 {
@@ -203,6 +204,16 @@ func checkAgainstBaseline(path string, art *benchArtifact) error {
 			return fmt.Errorf("baseline %s has no update_bench rows (regenerate it with -experiment support,query,peel,update)", path)
 		}
 		n, err := checkUpdateRows(&base, art)
+		if err != nil {
+			return err
+		}
+		checked += n
+	}
+	if len(art.ColdstartBench) > 0 {
+		if len(base.ColdstartBench) == 0 {
+			return fmt.Errorf("baseline %s has no coldstart_bench rows (regenerate it with -experiment coldstart)", path)
+		}
+		n, err := checkColdstartRows(&base, art)
 		if err != nil {
 			return err
 		}

@@ -125,6 +125,7 @@ func runBuildCtx(ctx context.Context, args []string) error {
 	peelName := fs.String("peel-kernel", "auto", "TrussDecomp kernel: auto|serial|levelsync|pkt")
 	threads := fs.Int("threads", 0, "threads (0 = all cores)")
 	out := fs.String("out", "", "write binary index to this path")
+	formatName := fs.String("format", "v3", "index layout for -out: v3 (flat, mmap-loadable) or v2 (sequential stream)")
 	obsf := addObsFlags(fs)
 	fs.Parse(args)
 	if *graphSpec == "" {
@@ -168,13 +169,17 @@ func runBuildCtx(ctx context.Context, args []string) error {
 		return err
 	}
 	if *out != "" {
-		// Crash-safe save: checksummed v2 stream, temp file + fsync +
-		// atomic rename — a crash or interrupt mid-save never leaves a
-		// torn index behind.
-		if err := equitruss.SaveIndexFile(*out, sg); err != nil {
+		format, err := equitruss.ParseIndexFormat(*formatName)
+		if err != nil {
 			return err
 		}
-		fmt.Printf("index written to %s\n", *out)
+		// Crash-safe save: checksummed stream, temp file + fsync + atomic
+		// rename — a crash or interrupt mid-save never leaves a torn
+		// index behind.
+		if err := equitruss.SaveIndexFileFormat(*out, sg, format); err != nil {
+			return err
+		}
+		fmt.Printf("index written to %s (%s)\n", *out, format)
 	}
 	return nil
 }

@@ -35,6 +35,7 @@ func runServeCtx(ctx context.Context, args []string, onListen func(net.Addr)) er
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	graphSpec := fs.String("graph", "", "edge-list path or dataset:<name>[:<factor>]")
 	indexPath := fs.String("index", "", "binary index from 'equitruss build -out' (omit to build at startup)")
+	verifyName := fs.String("verify", "eager", "checksum verification for mmap-loaded v3 indexes: eager (before serving) or lazy (in background)")
 	variantName := fs.String("variant", "afforest", "variant to build with if no -index given")
 	threads := fs.Int("threads", 0, "build threads (0 = all cores)")
 	addr := fs.String("addr", ":8080", "listen address")
@@ -102,6 +103,10 @@ func runServeCtx(ctx context.Context, args []string, onListen func(net.Addr)) er
 	if err != nil {
 		return err
 	}
+	verify, err := equitruss.ParseVerifyMode(*verifyName)
+	if err != nil {
+		return fmt.Errorf("bad -verify %q (want eager|lazy)", *verifyName)
+	}
 	if _, err := equitruss.ParseWALSyncPolicy(*walSync); err != nil {
 		return fmt.Errorf("bad -wal-sync %q (want always|interval|never)", *walSync)
 	}
@@ -167,11 +172,18 @@ func runServeCtx(ctx context.Context, args []string, onListen func(net.Addr)) er
 	}
 	var idx *equitruss.Index
 	if *indexPath != "" {
-		idx, err = equitruss.LoadIndexFile(*indexPath, g)
+		var stats equitruss.LoadStats
+		idx, stats, err = equitruss.OpenIndexFile(*indexPath, g, verify)
 		if err != nil {
 			return err
 		}
-		log.Info("index loaded", slog.String("path", *indexPath))
+		opts.IndexLoadSeconds = stats.Seconds
+		opts.MmapBytes = stats.MmapBytes
+		log.Info("index loaded",
+			slog.String("path", *indexPath),
+			slog.String("format", fmt.Sprintf("%v", stats.Format)),
+			slog.Float64("load_seconds", stats.Seconds),
+			slog.Int64("mmap_bytes", stats.MmapBytes))
 	} else {
 		idx, err = equitruss.BuildIndex(g, equitruss.Options{Variant: variant, Threads: *threads, Context: ctx})
 		if err != nil {

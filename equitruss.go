@@ -36,6 +36,7 @@ import (
 	"equitruss/internal/graph"
 	"equitruss/internal/graphio"
 	"equitruss/internal/metrics"
+	"equitruss/internal/mmapio"
 	"equitruss/internal/obs"
 	"equitruss/internal/server"
 	"equitruss/internal/triangle"
@@ -418,9 +419,43 @@ func NewDynamicFromGraph(g *Graph, threads int) *DynamicGraph {
 	return dynamic.FromStatic(g, Trussness(g, threads))
 }
 
-// SaveIndex writes a summary graph in the binary index format.
+// IndexFormat selects an on-disk index layout for SaveIndexFormat.
+type IndexFormat = graphio.IndexFormat
+
+// The index layouts. FormatV2 is the checksummed sequential stream; FormatV3
+// is the flat 64-byte-aligned layout that supports zero-copy memory-mapped
+// loading (see docs/ALGORITHMS.md, "Index layout v3"). Readers auto-detect
+// either.
+const (
+	FormatV2 = graphio.FormatV2
+	FormatV3 = graphio.FormatV3
+)
+
+// ParseIndexFormat parses a -format flag value (v2|v3).
+func ParseIndexFormat(s string) (IndexFormat, error) { return graphio.ParseIndexFormat(s) }
+
+// VerifyMode selects when a memory-mapped index load verifies section
+// checksums: eagerly before serving, or lazily in the background.
+type VerifyMode = graphio.VerifyMode
+
+// The verification modes for OpenIndexFile.
+const (
+	VerifyEager = graphio.VerifyEager // verify all checksums before returning
+	VerifyLazy  = graphio.VerifyLazy  // structural validation now, checksums in background
+)
+
+// ParseVerifyMode parses a -verify flag value (eager|lazy).
+func ParseVerifyMode(s string) (VerifyMode, error) { return graphio.ParseVerifyMode(s) }
+
+// SaveIndex writes a summary graph as a v2 binary index stream. Use
+// SaveIndexFormat to select the mmap-ready v3 layout.
 func SaveIndex(w io.Writer, sg *SummaryGraph) error {
 	return graphio.WriteBinaryIndex(w, sg)
+}
+
+// SaveIndexFormat writes a summary graph in the selected index layout.
+func SaveIndexFormat(w io.Writer, sg *SummaryGraph, f IndexFormat) error {
+	return graphio.WriteBinaryIndexFormat(w, sg, f)
 }
 
 // LoadIndex reads a summary graph written by SaveIndex and attaches it to
@@ -440,26 +475,80 @@ func LoadIndex(r io.Reader, g *Graph) (*Index, error) {
 }
 
 // SaveIndexFile writes a summary graph to path crash-safely: the
-// checksummed v2 binary stream goes to a same-directory temp file that is
-// fsynced and atomically renamed into place, so a crash mid-save leaves
-// either the old index or the new one, never a torn file.
+// checksummed stream goes to a same-directory temp file that is fsynced and
+// atomically renamed into place, so a crash mid-save leaves either the old
+// index or the new one, never a torn file. The default layout is v3 (flat,
+// 64-byte-aligned, mmap-loadable); use SaveIndexFileFormat for v2.
 func SaveIndexFile(path string, sg *SummaryGraph) error {
-	return graphio.WriteBinaryIndexFile(path, sg)
+	return graphio.WriteBinaryIndexFileFormat(path, sg, graphio.FormatV3)
 }
 
-// LoadIndexFile reads an index file written by SaveIndexFile (or any
-// SaveIndex stream, v1 or v2) and attaches it to its graph as a query-ready
-// Index. v2 files are checksum-verified: any single flipped byte on disk is
-// rejected with a checksum error.
+// SaveIndexFileFormat is SaveIndexFile with an explicit layout selection.
+func SaveIndexFileFormat(path string, sg *SummaryGraph, f IndexFormat) error {
+	return graphio.WriteBinaryIndexFileFormat(path, sg, f)
+}
+
+// LoadStats reports how an index file was loaded.
+type LoadStats struct {
+	// Seconds is the wall time from open through validation (and, for
+	// VerifyEager, checksum verification) until the index was query-ready.
+	Seconds float64
+	// MmapBytes is the mapped file size when the zero-copy path was taken,
+	// 0 when the file was decoded onto the heap.
+	MmapBytes int64
+	// Format is the on-disk layout the file was detected to be.
+	Format IndexFormat
+}
+
+// LoadIndexFile reads an index file written by SaveIndexFile (any layout:
+// v1, v2, or v3) and attaches it to its graph as a query-ready Index. Files
+// are checksum-verified: any single flipped byte on disk is rejected.
 func LoadIndexFile(path string, g *Graph) (*Index, error) {
+	ix, _, err := OpenIndexFile(path, g, VerifyEager)
+	return ix, err
+}
+
+// OpenIndexFile loads an index file by the fastest safe path its layout
+// permits and reports how. A v3 file on a little-endian host is memory-
+// mapped: the seven index arrays alias the page cache directly, the
+// vertex→supernode seed sets are computed on demand, and cold-start cost is
+// page-fault-driven — milliseconds for multi-hundred-MB indexes — instead
+// of a full decode plus an O(Σ deg) seed pass. verify selects eager
+// (checksums before returning) or lazy (structural validation now, CRC
+// sweep in the background) verification for that path. Other layouts (or a
+// big-endian host) take the portable decode path, where verify is ignored
+// and checksums are always checked inline.
+func OpenIndexFile(path string, g *Graph, verify VerifyMode) (*Index, LoadStats, error) {
+	start := time.Now()
+	format, err := graphio.SniffIndexFormat(path)
+	if err != nil {
+		return nil, LoadStats{}, err
+	}
+	stats := LoadStats{Format: format}
+	if format == FormatV3 && mmapio.HostLittleEndian {
+		sg, m, err := graphio.MapIndexFile(path, verify)
+		if err != nil {
+			return nil, LoadStats{}, err
+		}
+		if len(sg.Tau) != int(g.NumEdges()) {
+			n := len(sg.Tau)
+			m.Unmap()
+			return nil, LoadStats{}, fmt.Errorf("equitruss: index built for %d edges, graph has %d", n, g.NumEdges())
+		}
+		stats.MmapBytes = int64(m.Len())
+		stats.Seconds = time.Since(start).Seconds()
+		return &Index{Index: community.NewIndexDeferred(g, sg)}, stats, nil
+	}
 	sg, err := graphio.ReadBinaryIndexFile(path)
 	if err != nil {
-		return nil, err
+		return nil, LoadStats{}, err
 	}
 	if len(sg.Tau) != int(g.NumEdges()) {
-		return nil, fmt.Errorf("equitruss: index built for %d edges, graph has %d", len(sg.Tau), g.NumEdges())
+		return nil, LoadStats{}, fmt.Errorf("equitruss: index built for %d edges, graph has %d", len(sg.Tau), g.NumEdges())
 	}
-	return &Index{Index: community.NewIndex(g, sg)}, nil
+	ix := &Index{Index: community.NewIndex(g, sg)}
+	stats.Seconds = time.Since(start).Seconds()
+	return ix, stats, nil
 }
 
 // ServeOptions configures Serve and NewHandler.
@@ -507,21 +596,32 @@ type ServeOptions struct {
 	// OnListen, when non-nil, receives the bound address once the listener
 	// is up (how callers of Addr ":0" learn the port).
 	OnListen func(net.Addr)
+	// IndexLoadSeconds, when set, is the wall time the caller's load path
+	// spent making the index query-ready (OpenIndexFile reports it in
+	// LoadStats). Surfaced on /healthz and /metrics as
+	// index_load_seconds.
+	IndexLoadSeconds float64
+	// MmapBytes, when set, is the mapped index file size from LoadStats —
+	// 0 for a heap-decoded index. Surfaced on /healthz and /metrics as
+	// mmap_bytes.
+	MmapBytes int64
 }
 
 // serverConfig maps the public options onto the internal server config.
 func (opt ServeOptions) serverConfig() server.Config {
 	return server.Config{
-		CacheSize:      opt.CacheSize,
-		Workers:        opt.Workers,
-		MaxBatch:       opt.MaxBatch,
-		MaxInFlight:    opt.MaxInFlight,
-		RequestTimeout: opt.RequestTimeout,
-		Tracer:         opt.Tracer,
-		SampleN:        opt.TraceSampleN,
-		SlowThreshold:  opt.SlowThreshold,
-		DebugRing:      opt.DebugRing,
-		Logger:         opt.Logger,
+		CacheSize:        opt.CacheSize,
+		Workers:          opt.Workers,
+		MaxBatch:         opt.MaxBatch,
+		MaxInFlight:      opt.MaxInFlight,
+		RequestTimeout:   opt.RequestTimeout,
+		Tracer:           opt.Tracer,
+		SampleN:          opt.TraceSampleN,
+		SlowThreshold:    opt.SlowThreshold,
+		DebugRing:        opt.DebugRing,
+		Logger:           opt.Logger,
+		IndexLoadSeconds: opt.IndexLoadSeconds,
+		MmapBytes:        opt.MmapBytes,
 	}
 }
 

@@ -61,7 +61,10 @@ type Index struct {
 	G  *graph.Graph
 	SG *core.SummaryGraph
 
-	// vertex → distinct supernodes of its incident edges, CSR form.
+	// vertex → distinct supernodes of its incident edges, CSR form. A
+	// deferred index (NewIndexDeferred) leaves these nil and computes each
+	// vertex's supernode set on demand from the graph's incidence lists —
+	// see SupernodesOf.
 	snOffsets []int64
 	snList    []int32
 
@@ -116,10 +119,66 @@ func NewIndex(g *graph.Graph, sg *core.SummaryGraph) *Index {
 	return idx
 }
 
+// NewIndexDeferred wraps the summary graph without materializing the
+// vertex→supernode CSR: queries compute each vertex's supernode set on
+// demand, O(deg(v)) per call, instead of paying an O(Σ deg) pass over the
+// whole graph up front. This is the load path for memory-mapped indexes,
+// where the summary graph is available in microseconds and the eager CSR
+// build would dominate cold-start time by orders of magnitude.
+func NewIndexDeferred(g *graph.Graph, sg *core.SummaryGraph) *Index {
+	return &Index{G: g, SG: sg}
+}
+
 // SupernodesOf returns the distinct supernodes containing an edge incident
-// to v (aliases internal storage).
+// to v. With an eager index this aliases internal storage; a deferred index
+// computes it from the incidence list on each call.
 func (idx *Index) SupernodesOf(v int32) []int32 {
-	return idx.snList[idx.snOffsets[v]:idx.snOffsets[v+1]]
+	if idx.snOffsets != nil {
+		return idx.snList[idx.snOffsets[v]:idx.snOffsets[v+1]]
+	}
+	return appendDistinctSupernodes(nil, idx.G, idx.SG, v)
+}
+
+// appendDistinctSupernodes appends the distinct supernodes of v's incident
+// edges to dst. Dedupe is linear-scan for the common small case and falls
+// back to a set for hub vertices, keeping the cost O(deg(v)) rather than
+// quadratic in the number of distinct supernodes.
+func appendDistinctSupernodes(dst []int32, g *graph.Graph, sg *core.SummaryGraph, v int32) []int32 {
+	const linearMax = 48
+	start := len(dst)
+	var set map[int32]struct{}
+	for _, e := range g.IncidentEIDs(v) {
+		sn := sg.EdgeToSN[e]
+		if sn == core.NoSupernode {
+			continue
+		}
+		if set != nil {
+			if _, dup := set[sn]; dup {
+				continue
+			}
+			set[sn] = struct{}{}
+			dst = append(dst, sn)
+			continue
+		}
+		dup := false
+		for _, s := range dst[start:] {
+			if s == sn {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		dst = append(dst, sn)
+		if len(dst)-start > linearMax {
+			set = make(map[int32]struct{}, 2*(len(dst)-start))
+			for _, s := range dst[start:] {
+				set[s] = struct{}{}
+			}
+		}
+	}
+	return dst
 }
 
 // CommunitiesBFS returns every k-truss community containing vertex v by

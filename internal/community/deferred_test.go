@@ -1,0 +1,89 @@
+package community_test
+
+import (
+	"testing"
+
+	"equitruss/internal/community"
+	"equitruss/internal/gen"
+	"equitruss/internal/graph"
+)
+
+// TestDeferredIndexMatchesEager is the differential for the zero-copy load
+// path: an index built with NewIndexDeferred (no vertex→supernode CSR) must
+// answer every query identically to the eager NewIndex — seed sets,
+// community BFS at every level, membership profiles, hierarchy-backed
+// queries, and the serving checksums.
+func TestDeferredIndexMatchesEager(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"figure3": gen.PaperFigure3(),
+		"planted": gen.PlantedPartition(8, 9, 0.65, 1.5, 17),
+		"rmat":    gen.RMAT(9, 7, 0.57, 0.19, 0.19, 5),
+	}
+	for name, g := range graphs {
+		_, eager := pipeline(t, g)
+		deferred := community.NewIndexDeferred(g, eager.SG)
+		if es, ds := eager.Checksums(), deferred.Checksums(); es != ds {
+			t.Fatalf("%s: checksums diverge: eager %+v, deferred %+v", name, es, ds)
+		}
+		for v := int32(0); v < g.NumVertices(); v++ {
+			want := map[int32]bool{}
+			for _, sn := range eager.SupernodesOf(v) {
+				want[sn] = true
+			}
+			got := deferred.SupernodesOf(v)
+			if len(got) != len(want) {
+				t.Fatalf("%s: vertex %d: deferred found %d supernodes, eager %d",
+					name, v, len(got), len(want))
+			}
+			for _, sn := range got {
+				if !want[sn] {
+					t.Fatalf("%s: vertex %d: spurious supernode %d", name, v, sn)
+				}
+			}
+			if em, dm := eager.MaxK(v), deferred.MaxK(v); em != dm {
+				t.Fatalf("%s: vertex %d: MaxK %d vs %d", name, v, em, dm)
+			}
+			maxK := eager.MaxK(v)
+			for k := int32(3); k <= maxK; k++ {
+				e := canonCommunities(eager.CommunitiesBFS(v, k))
+				d := canonCommunities(deferred.CommunitiesBFS(v, k))
+				if e != d {
+					t.Fatalf("%s: vertex %d k=%d: deferred BFS diverges", name, v, k)
+				}
+				d2 := canonCommunities(deferred.Communities(v, k))
+				if e != d2 {
+					t.Fatalf("%s: vertex %d k=%d: deferred hierarchy path diverges", name, v, k)
+				}
+			}
+		}
+	}
+}
+
+// TestDeferredHubDedup drives the set-fallback dedupe path: a star center
+// whose incident edges span many supernodes. The star alone has no
+// triangles, so attach many disjoint triangles through the hub.
+func TestDeferredHubDedup(t *testing.T) {
+	var edges []graph.Edge
+	const spokes = 120 // > the linear-scan dedupe threshold
+	for i := int32(0); i < spokes; i++ {
+		a, b := 1+2*i, 2+2*i
+		edges = append(edges,
+			graph.Edge{U: 0, V: a}, graph.Edge{U: 0, V: b}, graph.Edge{U: a, V: b})
+	}
+	g, err := graph.FromEdgeList(edges, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, eager := pipeline(t, g)
+	deferred := community.NewIndexDeferred(g, eager.SG)
+	if got, want := len(deferred.SupernodesOf(0)), len(eager.SupernodesOf(0)); got != want {
+		t.Fatalf("hub supernode count %d, want %d", got, want)
+	}
+	seen := map[int32]bool{}
+	for _, sn := range deferred.SupernodesOf(0) {
+		if seen[sn] {
+			t.Fatalf("duplicate supernode %d from set-fallback dedupe", sn)
+		}
+		seen[sn] = true
+	}
+}

@@ -376,7 +376,7 @@ func buildHierarchy(ctx context.Context, idx *Index, threads int, tr *obs.Trace)
 				return
 			}
 			seen.NextEpoch()
-			for _, sn := range idx.snList[idx.snOffsets[v]:idx.snOffsets[v+1]] {
+			for _, sn := range idx.SupernodesOf(int32(v)) {
 				for node := h.snLeaf[sn]; node >= 0 && seen.Visit(node); node = h.parent[node] {
 					atomic.AddInt64(&h.verts[node], 1)
 				}

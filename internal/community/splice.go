@@ -143,7 +143,7 @@ func spliceHierarchy(oldIdx, newIdx *Index, in spliceInput) (*Hierarchy, int, in
 	seen := ds.NewStamps(n)
 	for _, v := range vlist {
 		seen.NextEpoch()
-		for _, sn := range newIdx.snList[newIdx.snOffsets[v]:newIdx.snOffsets[v+1]] {
+		for _, sn := range newIdx.SupernodesOf(v) {
 			if !isAffected[sn] {
 				continue
 			}

@@ -43,6 +43,14 @@ type SummaryGraph struct {
 	// form: Adj[AdjOffsets[s]:AdjOffsets[s+1]].
 	AdjOffsets []int64
 	Adj        []int32
+
+	// Backing, when non-nil, owns the storage the seven arrays alias — a
+	// zero-copy loader's file mapping (*mmapio.Mapping). The garbage
+	// collector does not trace mapped memory, so the mapping stays alive
+	// exactly as long as this SummaryGraph (and anything holding it) is
+	// reachable; when the last reference drops, the mapping's finalizer
+	// releases the region. Heap-built indexes leave it nil.
+	Backing any
 }
 
 // NumSupernodes returns |V|.

@@ -9,6 +9,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
@@ -65,17 +66,30 @@ func ReadEdgeListFile(path string) (*graph.Graph, error) {
 }
 
 // WriteEdgeList writes the graph as SNAP-style text with a header comment.
+// Write errors are detected per line, not deferred to the final flush, so a
+// full disk or broken pipe stops the loop instead of formatting millions of
+// lines into a dead writer.
 func WriteEdgeList(w io.Writer, g *graph.Graph) error {
+	if err := injectWrite(); err != nil {
+		return err
+	}
 	bw := bufio.NewWriter(w)
-	fmt.Fprintf(bw, "# undirected graph: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+	if _, err := fmt.Fprintf(bw, "# undirected graph: %d vertices, %d edges\n",
+		g.NumVertices(), g.NumEdges()); err != nil {
+		return err
+	}
 	for _, e := range g.Edges() {
-		fmt.Fprintf(bw, "%d %d\n", e.U, e.V)
+		if _, err := fmt.Fprintf(bw, "%d %d\n", e.U, e.V); err != nil {
+			return err
+		}
 	}
 	return bw.Flush()
 }
 
 // WriteEdgeListFile writes the graph to a file, gzip-compressed when the
-// path ends in ".gz".
+// path ends in ".gz". On gzip paths the final Close flushes the compressor,
+// so a short write surfacing only there is still reported (wrapped with the
+// path), not swallowed.
 func WriteEdgeListFile(path string, g *graph.Graph) error {
 	f, err := createMaybeGzip(path)
 	if err != nil {
@@ -83,9 +97,12 @@ func WriteEdgeListFile(path string, g *graph.Graph) error {
 	}
 	if err := WriteEdgeList(f, g); err != nil {
 		f.Close()
-		return err
+		return fmt.Errorf("graphio: writing edge list %s: %w", path, err)
 	}
-	return f.Close()
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("graphio: closing edge list %s: %w", path, err)
+	}
+	return nil
 }
 
 const (
@@ -94,9 +111,11 @@ const (
 	formatV1   = uint32(1)
 
 	// maxSaneCount bounds any size field read from an untrusted stream
-	// before it drives an allocation: edge IDs are int32, so anything
-	// larger is corrupt by construction.
-	maxSaneCount = int64(1) << 31
+	// before it drives an allocation: vertex and edge IDs are int32, so any
+	// count a valid file can carry is at most MaxInt32 — the bound must be
+	// inclusive-safe, because a field equal to 1<<31 would survive a
+	// strictly-greater check and then wrap negative in an int32 conversion.
+	maxSaneCount = int64(math.MaxInt32)
 )
 
 // readSlice reads n fixed-size elements in bounded chunks, so a corrupt
@@ -267,18 +286,27 @@ func WriteBinaryIndex(w io.Writer, sg *core.SummaryGraph) error {
 	return bw.Flush()
 }
 
-// ReadBinaryIndex deserializes a summary graph written by WriteBinaryIndex.
-// Both the checksummed v2 format and the legacy v1 format are accepted; v1
-// skips all verification and triggers a one-time deprecation warning. For
-// v2, the header checksum is verified before any size field drives an
-// allocation, every section checksum as its payload is decoded, and the
-// whole-file checksum at the trailer — any single flipped byte in a stored
-// v2 stream is rejected with a checksum error.
+// ReadBinaryIndex deserializes a summary graph written by any of the index
+// writers: the flat v3 layout, the checksummed v2 stream, and the legacy v1
+// format are auto-detected from the first eight bytes (v1 skips all
+// verification and triggers a one-time deprecation warning). For v2/v3, the
+// header checksum is verified before any size field drives an allocation
+// and every section checksum as its payload is decoded — any single flipped
+// byte in a stored stream is rejected with a checksum error. This is the
+// portable heap-decoding path; use MapIndexFile for the zero-copy v3 load.
 func ReadBinaryIndex(r io.Reader) (*core.SummaryGraph, error) {
 	if err := injectRead(); err != nil {
 		return nil, err
 	}
-	cr := &crcReader{r: bufio.NewReader(r)}
+	br := bufio.NewReader(r)
+	// Sniff the version without consuming: v3 has its own fixed-header
+	// decoder; v1/v2 re-read these bytes through the CRC accumulator.
+	if head, err := br.Peek(8); err == nil &&
+		binary.LittleEndian.Uint32(head) == indexMagic &&
+		binary.LittleEndian.Uint32(head[4:]) == formatV3 {
+		return readBinaryIndexV3(br)
+	}
+	cr := &crcReader{r: br}
 	var magic, version uint32
 	if err := binary.Read(cr, binary.LittleEndian, &magic); err != nil {
 		return nil, err

@@ -1,0 +1,33 @@
+//go:build !unix
+
+package mmapio
+
+import (
+	"io"
+	"math"
+	"os"
+	"unsafe"
+)
+
+// maxMapSize bounds the heap fallback to what one allocation can hold.
+const maxMapSize = int64(math.MaxInt - 8)
+
+// mapFile is the portable fallback for platforms without mmap: read the
+// whole file into the heap. Same interface, no zero-copy — loads still
+// work, they just pay the allocation and the copy. The backing store is an
+// []int64 so the base address is 8-aligned, which the typed-slice casts
+// over 64-byte-aligned file sections rely on.
+func mapFile(f *os.File, size int64) ([]byte, bool, error) {
+	if size == 0 {
+		return nil, false, nil
+	}
+	buf := make([]int64, (size+7)/8)
+	data := unsafe.Slice((*byte)(unsafe.Pointer(&buf[0])), size)
+	if _, err := io.ReadFull(f, data); err != nil {
+		return nil, false, err
+	}
+	return data, false, nil
+}
+
+// unmap is a no-op for the heap fallback; the GC reclaims the buffer.
+func unmap(data []byte) error { return nil }

@@ -1,0 +1,31 @@
+//go:build unix
+
+package mmapio
+
+import (
+	"math"
+	"os"
+	"syscall"
+)
+
+// maxMapSize bounds one mapping to what an int-indexed slice can address.
+const maxMapSize = int64(math.MaxInt)
+
+// mapFile maps size bytes of f read-only. A zero-length file maps to an
+// empty, unmapped buffer — mmap of length 0 is an error on most kernels,
+// and there is nothing to share anyway.
+func mapFile(f *os.File, size int64) ([]byte, bool, error) {
+	if size == 0 {
+		return nil, false, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false, err
+	}
+	return data, true, nil
+}
+
+// unmap releases a region returned by mapFile.
+func unmap(data []byte) error {
+	return syscall.Munmap(data)
+}

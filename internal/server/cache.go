@@ -97,6 +97,34 @@ func (c *Cache) Put(ep uint64, v, k int32, val []community.Ref) {
 	}
 }
 
+// PurgeBelow drops every entry cached under an epoch older than ep,
+// returning how many it removed. Epoch-versioned keys already make stale
+// entries unreachable, but unreachable is not free: dead entries hold their
+// slots (and, transitively, the old epoch's index arrays — for a
+// memory-mapped index, the whole file mapping) until they age out of the
+// LRU. Publish calls this so retiring an epoch releases its memory promptly.
+func (c *Cache) PurgeBelow(ep uint64) int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	purged := 0
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		if ent := el.Value.(*cacheEntry); ent.key.ep < ep {
+			c.ll.Remove(el)
+			delete(c.items, ent.key)
+			purged++
+		}
+		el = next
+	}
+	if purged > 0 {
+		cCacheEvictions.Add(int64(purged))
+	}
+	return purged
+}
+
 // Cap returns the cache capacity in entries (0 when caching is disabled).
 func (c *Cache) Cap() int {
 	if c == nil {

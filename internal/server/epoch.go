@@ -45,6 +45,11 @@ func (s *Server) Publish(idx *community.Index, seq uint64) uint64 {
 	}
 	s.cur.Store(&epoch{idx: idx, num: num, seq: seq, sums: sums})
 	cEpochSwaps.Inc()
+	// Entries cached under older epochs are unreachable now; purge them so
+	// the retired epoch's storage (heap arrays, or an index file mapping
+	// kept alive through SummaryGraph.Backing) is released as soon as
+	// in-flight queries drain, instead of when the LRU happens to roll over.
+	s.cache.PurgeBelow(num)
 	return num
 }
 

@@ -119,6 +119,14 @@ type Config struct {
 	// Error — so an Info-level production logger stays quiet until
 	// something is wrong.
 	Logger *slog.Logger
+	// IndexLoadSeconds is the wall time the operator's load path spent
+	// getting the initial index query-ready (decode or mmap, through
+	// validation). Purely informational — surfaced on /healthz and
+	// /metrics so cold-start regressions are observable in production.
+	IndexLoadSeconds float64
+	// MmapBytes is the size of the memory-mapped index file backing the
+	// initial index, or 0 when it was decoded onto the heap.
+	MmapBytes int64
 }
 
 const (
@@ -143,6 +151,10 @@ type Server struct {
 	inflight   chan struct{} // admission semaphore; nil = unlimited
 	mux        *http.ServeMux
 	handler    http.Handler // mux wrapped in the recovery middleware
+
+	// Cold-start facts from Config, reported on /healthz and /metrics.
+	indexLoadSeconds float64
+	mmapBytes        int64
 
 	// testHook, when set, runs inside every query computation — tests use
 	// it to hold requests open across a shutdown.
@@ -183,9 +195,11 @@ func NewPending(cfg Config) *Server {
 			SlowThreshold: cfg.SlowThreshold,
 			RingSize:      cfg.DebugRing,
 		}),
-		log:        logger,
-		maxBatch:   maxBatch,
-		reqTimeout: cfg.RequestTimeout,
+		log:              logger,
+		maxBatch:         maxBatch,
+		reqTimeout:       cfg.RequestTimeout,
+		indexLoadSeconds: cfg.IndexLoadSeconds,
+		mmapBytes:        cfg.MmapBytes,
 	}
 	obs.EnableRuntimeMetrics()
 	if cfg.MaxInFlight >= 0 {
@@ -689,8 +703,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // JSON numbers.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	doc := map[string]any{
-		"status":   "ok",
-		"revision": buildinfo.Revision(),
+		"status":             "ok",
+		"revision":           buildinfo.Revision(),
+		"index_load_seconds": s.indexLoadSeconds,
+		"mmap_bytes":         s.mmapBytes,
 	}
 	if ep := s.epoch(); ep != nil {
 		doc["epoch"] = ep.num
@@ -734,6 +750,8 @@ func (s *Server) instanceGauges() []obs.GaugeValue {
 		{Name: "server_pool_capacity", Help: "query pool slot capacity", Value: float64(s.pool.Cap())},
 		{Name: "server_cache_entries", Help: "entries held by the community LRU cache", Value: float64(s.cache.Len())},
 		{Name: "server_cache_capacity", Help: "capacity of the community LRU cache", Value: float64(s.cache.Cap())},
+		{Name: "server_index_load_seconds", Help: "wall time spent making the initial index query-ready", Value: s.indexLoadSeconds},
+		{Name: "server_mmap_bytes", Help: "bytes of index file memory-mapped into the serving path (0 for heap-decoded)", Value: float64(s.mmapBytes)},
 	}
 	if s.inflight != nil {
 		gauges = append(gauges,

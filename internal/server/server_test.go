@@ -16,6 +16,7 @@ import (
 	"equitruss/internal/community"
 	"equitruss/internal/core"
 	"equitruss/internal/gen"
+	"equitruss/internal/obs"
 	"equitruss/internal/triangle"
 	"equitruss/internal/truss"
 )
@@ -468,5 +469,61 @@ func TestCommunityVerticesParam(t *testing.T) {
 		if fmt.Sprint(c.Vertices) != fmt.Sprint(want[i].Vertices()) {
 			t.Fatalf("community %d: vertices %v, oracle %v", i, c.Vertices, want[i].Vertices())
 		}
+	}
+}
+
+// TestCachePurgeBelow is the stale-epoch regression: entries cached under a
+// retired epoch are unreachable through Get (the key carries the epoch) but
+// used to sit in the LRU until natural rollover, pinning the old epoch's
+// index storage. PurgeBelow must drop exactly the stale entries.
+func TestCachePurgeBelow(t *testing.T) {
+	c := NewCache(8)
+	for v := int32(0); v < 3; v++ {
+		c.Put(1, v, 3, nil)
+	}
+	c.Put(2, 0, 3, nil)
+	evBefore := obs.GetCounter("server_cache_evictions", "").Value()
+	if got := c.PurgeBelow(2); got != 3 {
+		t.Fatalf("PurgeBelow removed %d entries, want 3", got)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("cache len %d after purge, want 1", c.Len())
+	}
+	if _, ok := c.Get(2, 0, 3); !ok {
+		t.Fatal("current-epoch entry lost in purge")
+	}
+	if _, ok := c.Get(1, 0, 3); ok {
+		t.Fatal("stale entry survived purge")
+	}
+	if d := obs.GetCounter("server_cache_evictions", "").Value() - evBefore; d != 3 {
+		t.Fatalf("evictions counter advanced by %d, want 3", d)
+	}
+	if got := c.PurgeBelow(2); got != 0 {
+		t.Fatalf("second purge removed %d entries, want 0", got)
+	}
+	var nilCache *Cache
+	if got := nilCache.PurgeBelow(9); got != 0 {
+		t.Fatal("nil cache purge did something")
+	}
+}
+
+// TestPublishPurgesStaleCacheEntries checks the server-level wiring: after
+// Publish swaps in a new epoch, the previous epoch's cached answers are
+// gone from the LRU, not merely unreachable.
+func TestPublishPurgesStaleCacheEntries(t *testing.T) {
+	g := gen.Clique(5)
+	sup := triangle.Supports(g, 1)
+	tau, _ := truss.DecomposeSerial(g, sup)
+	sg, _ := core.Build(g, tau, core.VariantCOptimal, 1)
+	s := New(community.NewIndex(g, sg), Config{CacheSize: 16})
+	ep := s.epoch().num
+	s.cache.Put(ep, 0, 5, nil)
+	s.cache.Put(ep, 1, 5, nil)
+	if s.cache.Len() != 2 {
+		t.Fatalf("cache len %d before publish, want 2", s.cache.Len())
+	}
+	s.Publish(community.NewIndex(g, sg), 0)
+	if s.cache.Len() != 0 {
+		t.Fatalf("cache holds %d stale entries after publish, want 0", s.cache.Len())
 	}
 }
